@@ -1,0 +1,1 @@
+bench/main.ml: Deut_core Deut_workload Micro Printf String Sys

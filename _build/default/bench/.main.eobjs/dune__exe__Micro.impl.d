@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Buffer Deut_btree Deut_buffer Deut_core Deut_sim Deut_storage Deut_wal Instance Lazy List Measure Printf Staged String Test Time Toolkit

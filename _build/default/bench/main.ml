@@ -1,0 +1,69 @@
+(* The full benchmark harness: regenerates every table and figure of the
+   paper's evaluation (simulated time, §5.3 + appendices) and finishes with
+   Bechamel wall-clock micro-benchmarks of the engine's hot paths.
+
+   Environment knobs:
+     DEUT_SCALE   divisor of the paper's sizes (default 64; smaller = bigger
+                  experiment; see DESIGN.md §1)
+     DEUT_QUICK   if set, runs a reduced sweep for smoke-testing *)
+
+module Figures = Deut_workload.Figures
+module Recovery = Deut_core.Recovery
+
+let scale =
+  match Sys.getenv_opt "DEUT_SCALE" with
+  | Some s -> ( try max 8 (int_of_string s) with _ -> 64)
+  | None -> 64
+
+let quick = Sys.getenv_opt "DEUT_QUICK" <> None
+
+let progress msg = Printf.eprintf "[bench] %s\n%!" msg
+
+let section title =
+  print_newline ();
+  print_endline (String.make 78 '=');
+  print_endline title;
+  print_endline (String.make 78 '=');
+  print_newline ()
+
+let () =
+  Printf.printf
+    "Deuteronomy logical-recovery reproduction — benchmark harness\n\
+     scale: 1/%d of the paper's sizes (DB %d pages-equivalent; see DESIGN.md)\n\
+     All recovery runs are verified against the committed-state oracle before\n\
+     their timings are reported.\n"
+    scale (436_000 / scale);
+
+  (* Figure 2: one workload+crash per cache size, five recoveries each. *)
+  let cache_sizes = if quick then [ 64; 512; 2048 ] else [ 64; 128; 256; 512; 1024; 2048 ] in
+  let fig2_cells = Figures.run_fig2 ~scale ~cache_sizes ~progress () in
+  section "FIGURE 2(a)";
+  print_string (Figures.fig2a fig2_cells);
+  section "FIGURE 2(b)";
+  print_string (Figures.fig2b fig2_cells);
+  section "FIGURE 2(c)";
+  print_string (Figures.fig2c fig2_cells);
+  section "SECTION 5.3 CLAIMS";
+  print_string (Figures.sec53 fig2_cells);
+  section "APPENDIX B COST MODEL";
+  print_string (Figures.costmodel fig2_cells);
+
+  (* Figure 3: checkpoint-interval sweep. *)
+  let multipliers = if quick then [ 1; 5 ] else [ 1; 5; 10 ] in
+  let fig3_cells = Figures.run_fig3 ~scale ~multipliers ~progress () in
+  section "FIGURE 3 (APPENDIX C)";
+  print_string (Figures.fig3 fig3_cells);
+
+  (* Appendix D ablations. *)
+  let appd_rows = Figures.run_appd ~scale ~progress () in
+  section "APPENDIX D ABLATIONS";
+  print_string (Figures.appd appd_rows);
+
+  (* Split-log layout: the Deuteronomy architecture proper (§4.2). *)
+  let split_rows = Figures.run_split ~scale ~progress () in
+  section "SPLIT-LOG LAYOUT (§4.2)";
+  print_string (Figures.split_table split_rows);
+
+  (* Bechamel micro-benchmarks: wall-clock cost of the engine's hot paths. *)
+  section "MICRO-BENCHMARKS (Bechamel, wall clock)";
+  print_string (Micro.run ())

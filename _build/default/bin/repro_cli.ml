@@ -1,0 +1,144 @@
+(* Command-line driver: run individual experiments from the paper's
+   evaluation, or a single detailed crash/recovery cell. *)
+
+open Cmdliner
+module Figures = Deut_workload.Figures
+module Experiment = Deut_workload.Experiment
+module Recovery = Deut_core.Recovery
+module Recovery_stats = Deut_core.Recovery_stats
+
+let progress msg = Printf.eprintf "[repro] %s\n%!" msg
+
+let scale_arg =
+  let doc = "Divide the paper's sizes (database, cache, checkpoint interval) by $(docv)." in
+  Arg.(value & opt int 64 & info [ "s"; "scale" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc = "Paper-equivalent cache size in MB (64..2048)." in
+  Arg.(value & opt int 512 & info [ "c"; "cache" ] ~docv:"MB" ~doc)
+
+let cache_sizes_arg =
+  let doc = "Comma-separated paper-equivalent cache sizes in MB." in
+  Arg.(
+    value
+    & opt (list int) [ 64; 128; 256; 512; 1024; 2048 ]
+    & info [ "cache-sizes" ] ~docv:"MBS" ~doc)
+
+let method_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "log0" -> Ok Recovery.Log0
+    | "log1" -> Ok Recovery.Log1
+    | "log2" -> Ok Recovery.Log2
+    | "sql1" -> Ok Recovery.Sql1
+    | "sql2" -> Ok Recovery.Sql2
+    | "aries" | "aries-ckpt" -> Ok Recovery.Aries_ckpt
+    | other -> Error (`Msg (Printf.sprintf "unknown recovery method %S" other))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Recovery.method_to_string m))
+
+let fig2_cmd =
+  let run scale cache_sizes =
+    let cells = Figures.run_fig2 ~scale ~cache_sizes ~progress () in
+    print_string (Figures.fig2a cells);
+    print_newline ();
+    print_string (Figures.fig2b cells);
+    print_newline ();
+    print_string (Figures.fig2c cells);
+    print_newline ();
+    print_string (Figures.sec53 cells);
+    print_newline ();
+    print_string (Figures.costmodel cells)
+  in
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Figures 2(a)-(c), the §5.3 claims, and the Appendix B cost model")
+    Term.(const run $ scale_arg $ cache_sizes_arg)
+
+let fig3_cmd =
+  let multipliers_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 5; 10 ]
+      & info [ "multipliers" ] ~docv:"KS" ~doc:"Checkpoint interval multipliers.")
+  in
+  let run scale cache multipliers =
+    let cells = Figures.run_fig3 ~scale ~cache_mb:cache ~multipliers ~progress () in
+    print_string (Figures.fig3 cells)
+  in
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"Figure 3 (Appendix C): checkpoint-interval sweep")
+    Term.(const run $ scale_arg $ cache_arg $ multipliers_arg)
+
+let appd_cmd =
+  let run scale cache =
+    print_string (Figures.appd (Figures.run_appd ~scale ~cache_mb:cache ~progress ()))
+  in
+  Cmd.v
+    (Cmd.info "appd" ~doc:"Appendix D ablations: the DC-logging spectrum")
+    Term.(const run $ scale_arg $ cache_arg)
+
+let splitlog_cmd =
+  let run scale cache =
+    print_string (Figures.split_table (Figures.run_split ~scale ~cache_mb:cache ~progress ()))
+  in
+  Cmd.v
+    (Cmd.info "splitlog" ~doc:"Split-log layout (§4.2) vs the integrated prototype")
+    Term.(const run $ scale_arg $ cache_arg)
+
+let crash_cmd =
+  let methods_arg =
+    Arg.(
+      value
+      & opt (list method_conv) Recovery.all_methods
+      & info [ "m"; "methods" ] ~docv:"METHODS"
+          ~doc:"Recovery methods to run (log0, log1, log2, sql1, sql2, aries).")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "r"; "repeat" ] ~docv:"N"
+          ~doc:
+            "Recover N times per method (fresh copies of the same image) and report redo time              mean ± stddev — the paper notes the high run-to-run variance of the prefetching              methods.")
+  in
+  let run scale cache methods repeat =
+    progress (Printf.sprintf "building crash at cache %d MB, scale 1/%d" cache scale);
+    let checkpoint_mode =
+      if List.mem Recovery.Aries_ckpt methods then Deut_core.Config.Aries_fuzzy
+      else Deut_core.Config.Penultimate
+    in
+    let setup = Experiment.paper_setup ~scale ~cache_mb:cache ~checkpoint_mode () in
+    let crash = Experiment.build setup in
+    Printf.printf
+      "crash image: %d db pages, %d dirty of %d cached (%.1f%% of cache), %d Δ / %d BW \
+       records, %d updates run\n\n"
+      crash.Experiment.db_pages crash.Experiment.dirty_at_crash crash.Experiment.cached_at_crash
+      (100.0 *. crash.Experiment.dirty_fraction)
+      crash.Experiment.deltas_total crash.Experiment.bws_total crash.Experiment.updates_run;
+    List.iter
+      (fun m ->
+        let stats = Experiment.run_method crash m in
+        Printf.printf "--- %s (verified against the oracle) ---\n%s\n"
+          (Recovery.method_to_string m)
+          (Recovery_stats.to_string stats);
+        if repeat > 1 then begin
+          let acc = Deut_sim.Stats.create () in
+          Deut_sim.Stats.add acc (Recovery_stats.redo_ms stats);
+          for _ = 2 to repeat do
+            Deut_sim.Stats.add acc
+              (Recovery_stats.redo_ms (Experiment.run_method crash m))
+          done;
+          Printf.printf "redo over %d runs: %s ms\n" repeat (Deut_sim.Stats.summary acc)
+        end;
+        print_newline ())
+      methods
+  in
+  Cmd.v
+    (Cmd.info "crash" ~doc:"One crash, recovered side-by-side with full per-method statistics")
+    Term.(const run $ scale_arg $ cache_arg $ methods_arg $ repeat_arg)
+
+let () =
+  let doc =
+    "reproduction of 'Implementing Performance Competitive Logical Recovery' (VLDB 2011)"
+  in
+  let info = Cmd.info "repro_cli" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ fig2_cmd; fig3_cmd; appd_cmd; splitlog_cmd; crash_cmd ]))

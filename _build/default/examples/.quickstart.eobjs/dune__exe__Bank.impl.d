@@ -1,0 +1,1 @@
+examples/bank.ml: Deut_core Deut_sim Deut_wal Printf Result

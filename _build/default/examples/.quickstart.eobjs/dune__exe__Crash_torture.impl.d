@@ -1,0 +1,1 @@
+examples/crash_torture.ml: Array Deut_core Deut_sim Deut_workload List Printf Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Deut_core Deut_wal List Printf

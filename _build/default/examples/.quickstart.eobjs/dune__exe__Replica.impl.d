@@ -1,0 +1,1 @@
+examples/replica.ml: Deut_core Deut_sim Deut_storage Deut_wal Hashtbl List Printf

@@ -1,0 +1,1 @@
+examples/tuning.ml: Deut_core Deut_workload List Printf

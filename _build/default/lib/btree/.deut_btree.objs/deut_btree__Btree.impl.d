@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Array Catalog Deut_buffer Deut_storage Deut_wal List Node Printf Queue

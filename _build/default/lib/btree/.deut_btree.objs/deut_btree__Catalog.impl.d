@@ -1,0 +1,1 @@
+lib/btree/catalog.ml: Deut_storage List Option

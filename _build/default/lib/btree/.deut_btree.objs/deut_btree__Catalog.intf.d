@@ -1,0 +1,1 @@
+lib/btree/catalog.mli: Deut_storage

@@ -1,0 +1,1 @@
+lib/btree/cursor.ml: Btree Deut_buffer Deut_storage Node

@@ -1,0 +1,1 @@
+lib/btree/node.ml: Array Deut_storage Printf String

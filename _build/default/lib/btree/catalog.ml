@@ -1,0 +1,40 @@
+module Page = Deut_storage.Page
+
+(* Layout: u16 ntables right after the page header, then (u32 table,
+   u32 root) pairs. *)
+
+let off_count = Page.header_size
+let entries_start = Page.header_size + 2
+let entry_size = 8
+
+let init p =
+  Page.set_kind p Page.Meta;
+  Page.set_u16 p off_count 0
+
+let count p = Page.get_u16 p off_count
+let entry_off i = entries_start + (i * entry_size)
+
+let find_index p ~table =
+  let n = count p in
+  let rec go i =
+    if i >= n then None
+    else if Page.get_u32 p (entry_off i) = table then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let find_root p ~table =
+  Option.map (fun i -> Page.get_u32 p (entry_off i + 4)) (find_index p ~table)
+
+let set_root p ~table ~root =
+  match find_index p ~table with
+  | Some i -> Page.set_u32 p (entry_off i + 4) root
+  | None ->
+      let n = count p in
+      if entry_off (n + 1) > Page.size p then failwith "Catalog.set_root: catalog page full";
+      Page.set_u32 p (entry_off n) table;
+      Page.set_u32 p (entry_off n + 4) root;
+      Page.set_u16 p off_count (n + 1)
+
+let tables p =
+  List.init (count p) (fun i -> (Page.get_u32 p (entry_off i), Page.get_u32 p (entry_off i + 4)))

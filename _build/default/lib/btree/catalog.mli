@@ -1,0 +1,16 @@
+(** The catalog meta page: table id → B-tree root pid.
+
+    Lives on pid 0.  Root changes (create table, root split) are part of the
+    SMO page-image records, so DC recovery restores the mapping before any
+    logical redo traverses an index — the DC owns data placement (§1.2). *)
+
+val init : Deut_storage.Page.t -> unit
+
+val find_root : Deut_storage.Page.t -> table:int -> int option
+
+val set_root : Deut_storage.Page.t -> table:int -> root:int -> unit
+(** Add the table or update its root.  Raises [Failure] if the page is
+    full (the table limit is page-size/8, far beyond any test). *)
+
+val tables : Deut_storage.Page.t -> (int * int) list
+(** All (table, root) pairs in slot order. *)

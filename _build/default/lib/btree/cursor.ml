@@ -1,0 +1,80 @@
+module Page = Deut_storage.Page
+module Pool = Deut_buffer.Buffer_pool
+
+type state =
+  | Closed
+  | Exhausted
+  | At of { pid : int; slot : int }  (* the leaf at [pid] is pinned *)
+
+type t = { tree : Btree.t; pool : Pool.t; mutable state : state }
+
+let pin_leaf t pid = ignore (Pool.get t.pool ~pin:true pid)
+let unpin_leaf t pid = Pool.unpin t.pool pid
+
+(* Move right through (possibly empty) leaves until one has a slot. *)
+let rec settle t pid slot =
+  let page = Pool.get t.pool pid in
+  if slot < Node.nslots page then begin
+    pin_leaf t pid;
+    t.state <- At { pid; slot }
+  end
+  else begin
+    let next = Node.right_sibling page in
+    if next = Node.no_sibling then t.state <- Exhausted else settle t next 0
+  end
+
+let seek tree ~key =
+  let pool = Btree.pool_of tree in
+  let t = { tree; pool; state = Exhausted } in
+  let pid = Btree.locate_leaf tree ~key in
+  let page = Pool.get pool pid in
+  let slot = match Node.search page key with `Found s -> s | `Not_found s -> s in
+  settle t pid slot;
+  t
+
+let first tree = seek tree ~key:min_int
+
+let is_valid t = match t.state with At _ -> true | Exhausted | Closed -> false
+
+let current t =
+  match t.state with
+  | At { pid; slot } -> (Pool.get t.pool pid, slot)
+  | Exhausted -> invalid_arg "Cursor: exhausted"
+  | Closed -> invalid_arg "Cursor: closed"
+
+let key t =
+  let page, slot = current t in
+  Node.slot_key page slot
+
+let value t =
+  let page, slot = current t in
+  Node.leaf_value page slot
+
+let next t =
+  match t.state with
+  | At { pid; slot } ->
+      unpin_leaf t pid;
+      t.state <- Exhausted;
+      settle t pid (slot + 1)
+  | Exhausted -> ()
+  | Closed -> invalid_arg "Cursor: closed"
+
+let close t =
+  (match t.state with At { pid; _ } -> unpin_leaf t pid | Exhausted | Closed -> ());
+  t.state <- Closed
+
+let fold_range tree ~lo ~hi ~init ~f =
+  let cursor = seek tree ~key:lo in
+  let rec go acc =
+    if is_valid cursor && key cursor < hi then begin
+      let acc = f acc (key cursor) (value cursor) in
+      next cursor;
+      go acc
+    end
+    else acc
+  in
+  let result = go init in
+  close cursor;
+  result
+
+let count_range tree ~lo ~hi = fold_range tree ~lo ~hi ~init:0 ~f:(fun n _ _ -> n + 1)

@@ -1,0 +1,33 @@
+(** Range scans over a B-tree via the leaf sibling chain.
+
+    A cursor is positioned on an entry or exhausted.  It captures no locks
+    and no snapshot: it reads whatever is current when it moves, pinning
+    only the leaf it currently sits on (so the frame cannot be evicted or
+    split away mid-read; moving or closing unpins).  Callers that mutate
+    the tree between cursor steps should expect half-fresh reads — full
+    isolation is the business of a lock manager, not the cursor. *)
+
+type t
+
+val seek : Btree.t -> key:int -> t
+(** Position on the first entry with key ≥ [key] (possibly exhausted). *)
+
+val first : Btree.t -> t
+(** Position on the smallest entry. *)
+
+val is_valid : t -> bool
+val key : t -> int
+(** @raise Invalid_argument if exhausted. *)
+
+val value : t -> string
+val next : t -> unit
+(** Advance to the next entry in key order (following sibling links). *)
+
+val close : t -> unit
+(** Release the pinned leaf.  Using the cursor afterwards raises. *)
+
+val fold_range :
+  Btree.t -> lo:int -> hi:int -> init:'a -> f:('a -> int -> string -> 'a) -> 'a
+(** Fold over entries with lo ≤ key < hi, in key order. *)
+
+val count_range : Btree.t -> lo:int -> hi:int -> int

@@ -1,0 +1,1 @@
+lib/buffer/buffer_pool.ml: Array Deut_sim Deut_storage Deut_wal Fun Hashtbl List Option

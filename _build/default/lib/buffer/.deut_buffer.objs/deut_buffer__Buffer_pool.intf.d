@@ -1,0 +1,1 @@
+lib/buffer/buffer_pool.mli: Deut_sim Deut_storage Deut_wal

@@ -1,0 +1,360 @@
+module Page = Deut_storage.Page
+module Page_store = Deut_storage.Page_store
+module Disk = Deut_sim.Disk
+module Clock = Deut_sim.Clock
+module Lsn = Deut_wal.Lsn
+
+type hooks = {
+  on_dirty : pid:int -> lsn:Lsn.t -> unit;
+  on_flush : pid:int -> unit;
+  ensure_stable : tc_lsn:Lsn.t -> dc_lsn:Lsn.t -> unit;
+}
+
+let null_hooks =
+  {
+    on_dirty = (fun ~pid:_ ~lsn:_ -> ());
+    on_flush = (fun ~pid:_ -> ());
+    ensure_stable = (fun ~tc_lsn:_ ~dc_lsn:_ -> ());
+  }
+
+type counters = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable prefetch_hits : int;
+  mutable prefetch_issued : int;
+  mutable stalls : int;
+  mutable stall_us : float;
+  mutable evictions : int;
+  mutable flushes : int;
+}
+
+type frame = {
+  mutable pid : int;  (* -1 when free *)
+  mutable page : Page.t;
+  mutable dirty : bool;
+  mutable epoch : bool;
+  mutable ref_bit : bool;
+  mutable pins : int;
+  mutable dirtied_at : int;  (* update tick of the clean->dirty transition *)
+}
+
+type t = {
+  capacity : int;
+  block_pages : int;
+  lazy_writer_every : int;  (* flush one dirty frame per this many misses; 0 = off *)
+  lazy_writer_min_age : int;  (* only flush frames dirtied at least this many updates ago *)
+  mutable lazy_writer_enabled : bool;
+  mutable miss_ticks : int;
+  mutable update_ticks : int;
+  store : Page_store.t;
+  disk : Disk.t;
+  clock : Clock.t;
+  frames : frame array;
+  by_pid : (int, int) Hashtbl.t;
+  mutable free_slots : int list;
+  mutable hand : int;
+  mutable writer_hand : int;
+  mutable hooks : hooks;
+  mutable cur_epoch : bool;
+  in_flight : (int, float) Hashtbl.t;
+  counters : counters;
+}
+
+let dummy_page = Page.create ~page_size:Page.header_size ~pid:(-1) Page.Free
+
+let create ~capacity ?(block_pages = 8) ?(lazy_writer_every = 0) ?(lazy_writer_min_age = 0)
+    ~store ~disk ~clock () =
+  if capacity < 4 then invalid_arg "Buffer_pool.create: capacity must be at least 4";
+  let frame _ =
+    {
+      pid = -1;
+      page = dummy_page;
+      dirty = false;
+      epoch = false;
+      ref_bit = false;
+      pins = 0;
+      dirtied_at = 0;
+    }
+  in
+  {
+    capacity;
+    block_pages;
+    lazy_writer_every;
+    lazy_writer_min_age;
+    lazy_writer_enabled = true;
+    miss_ticks = 0;
+    update_ticks = 0;
+    store;
+    disk;
+    clock;
+    frames = Array.init capacity frame;
+    by_pid = Hashtbl.create (2 * capacity);
+    free_slots = List.init capacity Fun.id;
+    hand = 0;
+    writer_hand = 0;
+    hooks = null_hooks;
+    cur_epoch = false;
+    in_flight = Hashtbl.create 64;
+    counters =
+      {
+        hits = 0;
+        misses = 0;
+        prefetch_hits = 0;
+        prefetch_issued = 0;
+        stalls = 0;
+        stall_us = 0.0;
+        evictions = 0;
+        flushes = 0;
+      };
+  }
+
+let set_hooks t hooks = t.hooks <- hooks
+let capacity t = t.capacity
+let block_pages t = t.block_pages
+let counters t = t.counters
+
+let reset_counters t =
+  let c = t.counters in
+  c.hits <- 0;
+  c.misses <- 0;
+  c.prefetch_hits <- 0;
+  c.prefetch_issued <- 0;
+  c.stalls <- 0;
+  c.stall_us <- 0.0;
+  c.evictions <- 0;
+  c.flushes <- 0
+
+let size t = Hashtbl.length t.by_pid
+
+let dirty_count t =
+  Array.fold_left (fun n f -> if f.pid >= 0 && f.dirty then n + 1 else n) 0 t.frames
+
+let contains t pid = Hashtbl.mem t.by_pid pid
+
+let is_dirty t pid =
+  match Hashtbl.find_opt t.by_pid pid with None -> false | Some slot -> t.frames.(slot).dirty
+
+let in_flight_count t = Hashtbl.length t.in_flight
+
+let flush_frame t f =
+  t.hooks.ensure_stable ~tc_lsn:(Page.plsn f.page) ~dc_lsn:(Page.dc_plsn f.page);
+  Page_store.write t.store f.page;
+  ignore (Disk.submit_write t.disk ~pid:f.pid);
+  f.dirty <- false;
+  t.counters.flushes <- t.counters.flushes + 1;
+  t.hooks.on_flush ~pid:f.pid
+
+(* CLOCK second-chance sweep.  Pinned frames are skipped; a dirty victim is
+   flushed (WAL first) before its frame is reused. *)
+let evict_one t =
+  let attempts = ref 0 in
+  let limit = 2 * t.capacity in
+  let rec sweep () =
+    if !attempts > limit then failwith "Buffer_pool: all frames pinned, cannot evict";
+    incr attempts;
+    let f = t.frames.(t.hand) in
+    t.hand <- (t.hand + 1) mod t.capacity;
+    if f.pid < 0 || f.pins > 0 then sweep ()
+    else if f.ref_bit then begin
+      f.ref_bit <- false;
+      sweep ()
+    end
+    else begin
+      if f.dirty then flush_frame t f;
+      Hashtbl.remove t.by_pid f.pid;
+      let slot = if t.hand = 0 then t.capacity - 1 else t.hand - 1 in
+      f.pid <- -1;
+      f.page <- dummy_page;
+      t.counters.evictions <- t.counters.evictions + 1;
+      slot
+    end
+  in
+  sweep ()
+
+let take_slot t =
+  match t.free_slots with
+  | slot :: rest ->
+      t.free_slots <- rest;
+      slot
+  | [] -> evict_one t
+
+let install_frame t page ~dirty =
+  let slot =
+    match Hashtbl.find_opt t.by_pid page.Page.pid with Some slot -> slot | None -> take_slot t
+  in
+  let f = t.frames.(slot) in
+  f.pid <- page.Page.pid;
+  f.page <- page;
+  f.dirty <- dirty;
+  f.epoch <- t.cur_epoch;
+  f.ref_bit <- true;
+  f.pins <- (if Hashtbl.mem t.by_pid page.Page.pid then f.pins else 0);
+  Hashtbl.replace t.by_pid page.Page.pid slot;
+  f
+
+(* Background-writer step: flush (without evicting) the next aged dirty
+   frame in sweep order.  Models SQL Server's lazy writer, which cleans the
+   cache under read pressure — the source of the flush events that let the
+   DPT prune (§3.3, §4.1).  Two properties matter for the paper's shapes:
+   it is driven by {e misses}, so a cache much larger than the working set
+   sees little cleaning and its dirty set (and DPT) keeps growing — the
+   large-cache regime where "the DPT is not very effective" (§5.3) — and it
+   flushes only pages dirtied at least [lazy_writer_min_age] updates ago,
+   so the flush lands in a later Δ/BW window than the page's last update
+   and the FW-LSN pruning rules can actually remove the entry. *)
+let flush_one_dirty t =
+  let rec go steps =
+    if steps >= t.capacity then false
+    else begin
+      let f = t.frames.(t.writer_hand) in
+      t.writer_hand <- (t.writer_hand + 1) mod t.capacity;
+      if
+        f.pid >= 0 && f.dirty && f.pins = 0
+        && t.update_ticks - f.dirtied_at >= t.lazy_writer_min_age
+      then begin
+        flush_frame t f;
+        true
+      end
+      else go (steps + 1)
+    end
+  in
+  go 0
+
+let set_lazy_writer_enabled t enabled = t.lazy_writer_enabled <- enabled
+
+let lazy_writer_tick t =
+  if t.lazy_writer_enabled && t.lazy_writer_every > 0 then begin
+    t.miss_ticks <- t.miss_ticks + 1;
+    if t.miss_ticks mod t.lazy_writer_every = 0 then ignore (flush_one_dirty t)
+  end
+
+let stall_until t completion =
+  let now = Clock.now t.clock in
+  if completion > now then begin
+    t.counters.stalls <- t.counters.stalls + 1;
+    t.counters.stall_us <- t.counters.stall_us +. (completion -. now);
+    Clock.advance_to t.clock completion
+  end
+
+let get t ?(pin = false) pid =
+  let f =
+    match Hashtbl.find_opt t.by_pid pid with
+    | Some slot ->
+        let f = t.frames.(slot) in
+        f.ref_bit <- true;
+        t.counters.hits <- t.counters.hits + 1;
+        f
+    | None -> (
+        match Hashtbl.find_opt t.in_flight pid with
+        | Some completion ->
+            (* The page was prefetched; wait (if needed) for that IO. *)
+            stall_until t completion;
+            Hashtbl.remove t.in_flight pid;
+            t.counters.prefetch_hits <- t.counters.prefetch_hits + 1;
+            install_frame t (Page_store.read t.store pid) ~dirty:false
+        | None ->
+            t.counters.misses <- t.counters.misses + 1;
+            lazy_writer_tick t;
+            let completion = Disk.submit_read t.disk ~pid in
+            stall_until t completion;
+            install_frame t (Page_store.read t.store pid) ~dirty:false)
+  in
+  if pin then f.pins <- f.pins + 1;
+  f.page
+
+let get_if_cached t pid =
+  match Hashtbl.find_opt t.by_pid pid with
+  | Some slot ->
+      let f = t.frames.(slot) in
+      f.ref_bit <- true;
+      Some f.page
+  | None -> None
+
+let pin t pid =
+  match Hashtbl.find_opt t.by_pid pid with
+  | Some slot -> t.frames.(slot).pins <- t.frames.(slot).pins + 1
+  | None -> invalid_arg "Buffer_pool.pin: page not cached"
+
+let unpin t pid =
+  match Hashtbl.find_opt t.by_pid pid with
+  | Some slot ->
+      let f = t.frames.(slot) in
+      if f.pins <= 0 then invalid_arg "Buffer_pool.unpin: page not pinned";
+      f.pins <- f.pins - 1
+  | None -> invalid_arg "Buffer_pool.unpin: page not cached"
+
+let new_page t kind =
+  let pid = Page_store.allocate t.store kind in
+  let page = Page.create ~page_size:(Page_store.page_size t.store) ~pid kind in
+  ignore (install_frame t page ~dirty:false);
+  page
+
+let install t ?event_lsn page ~dirty =
+  Hashtbl.remove t.in_flight page.Page.pid;
+  let f = install_frame t page ~dirty in
+  if dirty then
+    let lsn = Option.value event_lsn ~default:(Page.plsn page) in
+    t.hooks.on_dirty ~pid:f.pid ~lsn
+
+let mark_dirty_common t ~pid ~stamp ~event_lsn =
+  match Hashtbl.find_opt t.by_pid pid with
+  | None -> invalid_arg "Buffer_pool.mark_dirty: page not cached"
+  | Some slot ->
+      let f = t.frames.(slot) in
+      stamp f.page;
+      t.update_ticks <- t.update_ticks + 1;
+      if not f.dirty then begin
+        f.dirty <- true;
+        f.epoch <- t.cur_epoch;
+        f.dirtied_at <- t.update_ticks;
+        t.hooks.on_dirty ~pid ~lsn:event_lsn
+      end
+
+let mark_dirty t ~pid ~lsn =
+  mark_dirty_common t ~pid ~stamp:(fun page -> Page.set_plsn page lsn) ~event_lsn:lsn
+
+let mark_dirty_dc t ~pid ~dc_lsn ~event_lsn =
+  mark_dirty_common t ~pid ~stamp:(fun page -> Page.set_dc_plsn page dc_lsn) ~event_lsn
+
+let prefetch t pids =
+  let wanted =
+    List.filter (fun pid -> not (Hashtbl.mem t.by_pid pid || Hashtbl.mem t.in_flight pid)) pids
+  in
+  let budget = t.capacity - size t - in_flight_count t in
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | pid :: rest -> pid :: take (n - 1) rest
+  in
+  let accepted = take budget wanted in
+  (* One asynchronous batch: the disk serves it in elevator order, so
+     contiguous pages coalesce into block reads and scattered pages pay the
+     cheaper queued-seek cost. *)
+  if accepted <> [] then begin
+    let completion = Disk.submit_batch_read t.disk accepted in
+    List.iter (fun pid -> Hashtbl.replace t.in_flight pid completion) accepted;
+    t.counters.prefetch_issued <- t.counters.prefetch_issued + List.length accepted
+  end
+
+let flush_page t pid =
+  match Hashtbl.find_opt t.by_pid pid with
+  | None -> invalid_arg "Buffer_pool.flush_page: page not cached"
+  | Some slot ->
+      let f = t.frames.(slot) in
+      if f.dirty then flush_frame t f
+
+let flush_all_dirty t =
+  Array.iter (fun f -> if f.pid >= 0 && f.dirty then flush_frame t f) t.frames
+
+let begin_checkpoint_epoch t = t.cur_epoch <- not t.cur_epoch
+
+let flush_previous_epoch t =
+  Array.iter
+    (fun f -> if f.pid >= 0 && f.dirty && f.epoch <> t.cur_epoch then flush_frame t f)
+    t.frames
+
+let iter_frames t f =
+  Array.iter (fun fr -> if fr.pid >= 0 then f fr.page ~dirty:fr.dirty) t.frames
+
+let dirty_pids t =
+  Array.fold_left (fun acc f -> if f.pid >= 0 && f.dirty then f.pid :: acc else acc) [] t.frames

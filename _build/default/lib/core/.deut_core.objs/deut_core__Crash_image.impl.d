@@ -1,0 +1,1 @@
+lib/core/crash_image.ml: Config Deut_storage Deut_wal Engine Option Tc

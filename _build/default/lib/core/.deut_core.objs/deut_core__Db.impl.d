@@ -1,0 +1,1 @@
+lib/core/db.ml: Array Config Crash_image Dc Deut_btree Deut_buffer Deut_sim Deut_storage Deut_wal Engine Engine_stats List Monitor Printf Recovery Tc

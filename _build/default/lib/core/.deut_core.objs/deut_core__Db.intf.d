@@ -1,0 +1,1 @@
+lib/core/db.mli: Config Crash_image Deut_wal Engine Engine_stats Recovery Recovery_stats

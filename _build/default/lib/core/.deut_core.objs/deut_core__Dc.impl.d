@@ -1,0 +1,1 @@
+lib/core/dc.ml: Array Bytes Config Deut_btree Deut_buffer Deut_sim Deut_storage Deut_wal Dpt Hashtbl List Monitor Recovery_stats

@@ -1,0 +1,1 @@
+lib/core/dc.mli: Config Deut_btree Deut_buffer Deut_sim Deut_storage Deut_wal Dpt Monitor Recovery_stats

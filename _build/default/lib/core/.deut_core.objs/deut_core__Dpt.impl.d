@@ -1,0 +1,1 @@
+lib/core/dpt.ml: Deut_wal Hashtbl Int List Option

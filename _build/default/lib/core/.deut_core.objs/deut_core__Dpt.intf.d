@@ -1,0 +1,1 @@
+lib/core/dpt.mli: Deut_wal

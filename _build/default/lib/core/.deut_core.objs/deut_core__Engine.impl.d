@@ -1,0 +1,1 @@
+lib/core/engine.ml: Config Dc Deut_buffer Deut_sim Deut_storage Deut_wal Tc

@@ -1,0 +1,1 @@
+lib/core/engine_stats.ml: Buffer Dc Deut_buffer Deut_sim Deut_storage Deut_wal Engine List Monitor Printf

@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Array Config Deut_sim Deut_wal Hashtbl Int List String

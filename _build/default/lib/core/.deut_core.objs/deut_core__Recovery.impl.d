@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Array Config Crash_image Dc Deut_buffer Deut_sim Deut_wal Dpt Engine Hashtbl List Option Printf Recovery_stats Tc

@@ -1,0 +1,1 @@
+lib/core/recovery.mli: Config Crash_image Deut_wal Dpt Engine Recovery_stats

@@ -1,0 +1,1 @@
+lib/core/tc.ml: Array Config Dc Deut_btree Deut_wal Hashtbl Int List Lock_table Monitor Printf Stdlib String

@@ -1,0 +1,116 @@
+(** Engine configuration: all knobs for the experiments in one record. *)
+
+(** The Appendix D spectrum of DC logging (§D):
+    - [Standard] — the paper's Δ-log record: DirtySet, WrittenSet, FW-LSN,
+      FirstDirty, TC-LSN.
+    - [Perfect] — §D.1: DirtySet entries carry their exact dirtying LSNs
+      (DirtyLSNs array), so the DC can rebuild the same DPT SQL Server
+      would.
+    - [Reduced] — §D.2: no FW-LSN / FirstDirty; every dirty entry gets the
+      previous Δ record's TC-LSN as its rLSN, and the written set may prune
+      only entries from earlier Δ records. *)
+type dpt_mode = Standard | Perfect | Reduced
+
+let dpt_mode_to_string = function
+  | Standard -> "standard"
+  | Perfect -> "perfect"
+  | Reduced -> "reduced"
+
+(** Checkpointing scheme:
+    - [Penultimate] — SQL Server's scheme (§3.2): begin-checkpoint, flush
+      everything dirtied before it, end-checkpoint; recovery starts at the
+      last completed checkpoint's begin record with an empty DPT.
+    - [Aries_fuzzy] — classic ARIES (§3.1): capture the runtime DPT in the
+      checkpoint without flushing; redo starts at the minimum rLSN. *)
+type checkpoint_mode = Penultimate | Aries_fuzzy
+
+let checkpoint_mode_to_string = function
+  | Penultimate -> "penultimate"
+  | Aries_fuzzy -> "aries-fuzzy"
+
+(** Where DC records (SMO page images, Δ- and BW-records) are logged:
+    - [Integrated] — the paper's prototype (§5.1): one shared log carries
+      both TC and DC records, so physiological and logical recovery can run
+      side-by-side from the same log.
+    - [Split] — the Deuteronomy architecture proper (§4.2): the DC has its
+      own log with its own LSN space (pages carry a separate DC pLSN), and
+      DC recovery scans only that short log.  Only the logical methods can
+      recover in this layout. *)
+type log_layout = Integrated | Split
+
+let log_layout_to_string = function Integrated -> "integrated" | Split -> "split"
+
+(** Data-page prefetch source for Log2 (Appendix A.2):
+    - [Pf_list] — the paper's choice: a "log-driven" read-ahead over the
+      PF-list, the deduplicated concatenation of Δ-record DirtySets in
+      update order.
+    - [Dpt_order] — the alternative the paper discusses: prefetch the DPT's
+      pages in ascending rLSN order, independent of the log. *)
+type prefetch_source = Pf_list | Dpt_order
+
+let prefetch_source_to_string = function Pf_list -> "pf-list" | Dpt_order -> "dpt-order"
+
+type t = {
+  page_size : int;
+  pool_pages : int;  (** cache capacity in pages *)
+  block_pages : int;  (** pages per prefetch block IO *)
+  data_disk : Deut_sim.Disk.params;
+  log_disk : Deut_sim.Disk.params;
+  delta_period : int;  (** updates between periodic Δ/BW-record emissions *)
+  delta_capacity : int;  (** DirtySet/WrittenSet entries that force an emission *)
+  lazy_writer_every : int;
+      (** flush one dirty page per this many cache {e misses} (0 = off):
+          miss-pressure-driven background cleaning (SQL Server's lazy
+          writer) whose flush events give the DPT something to prune; a
+          cache larger than the working set sees little of it, so its DPT
+          keeps growing — the paper's large-cache regime *)
+  dpt_mode : dpt_mode;
+  checkpoint_mode : checkpoint_mode;
+  cpu_op_us : float;  (** CPU cost charged per redo log record *)
+  cpu_index_level_us : float;  (** extra CPU per B-tree level for logical redo *)
+  prefetch_window : int;  (** top up prefetch when in-flight drops below this *)
+  prefetch_chunk : int;  (** pids submitted per top-up *)
+  prefetch_lookahead : int;  (** SQL2 log read-ahead horizon, in records *)
+  prefetch_source : prefetch_source;  (** Log2's data-prefetch driver (App. A.2) *)
+  log_layout : log_layout;  (** integrated (§5.1 prototype) or split (§4.2) *)
+  locking : bool;
+      (** strict 2PL key locks at the TC (no-wait conflicts), the minimal
+          stand-in for the companion locking paper [13]; off by default —
+          the recovery experiments are single-transaction-at-a-time *)
+  group_commit : int;
+      (** force the log every Nth commit (1 = every commit, the paper's
+          setting).  Queued commits are {e not durable} until the next
+          force — a crash loses them, and recovery correctly treats them
+          as losers. *)
+  seed : int;
+}
+
+let default =
+  {
+    page_size = 8192;
+    pool_pages = 1024;
+    block_pages = 8;
+    data_disk = Deut_sim.Disk.default_params;
+    log_disk =
+      {
+        Deut_sim.Disk.seek_us = 4000.0;
+        transfer_us = 50.0;
+        sequential_gap = 4;
+        batch_seek_factor = 0.75;
+      };
+    delta_period = 1000;
+    delta_capacity = 256;
+    lazy_writer_every = 1;
+    dpt_mode = Standard;
+    checkpoint_mode = Penultimate;
+    cpu_op_us = 2.0;
+    cpu_index_level_us = 1.0;
+    prefetch_window = 32;
+    prefetch_chunk = 16;
+    prefetch_lookahead = 512;
+    prefetch_source = Pf_list;
+    log_layout = Integrated;
+    locking = false;
+    group_commit = 1;
+    seed = 42;
+  }

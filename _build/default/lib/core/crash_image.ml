@@ -1,0 +1,51 @@
+(** What survives a crash: the stable page store, the stable log prefix,
+    and the master record (last completed checkpoint).
+
+    A captured image is immutable here: every recovery run instantiates its
+    own deep copies, so the five methods of §5.2 can be compared
+    side-by-side from the {e same} crash — the paper's controlled
+    methodology. *)
+
+module Page_store = Deut_storage.Page_store
+module Log_manager = Deut_wal.Log_manager
+module Lsn = Deut_wal.Lsn
+
+type t = {
+  config : Config.t;
+  store : Page_store.t;
+  log : Log_manager.t;  (* TC log, truncated to the stable prefix *)
+  dc_log : Log_manager.t option;  (* the DC's own log in the split layout *)
+  master : Lsn.t;
+}
+
+let capture (engine : Engine.t) =
+  {
+    config = engine.Engine.config;
+    store = Page_store.clone engine.Engine.store;
+    log = Log_manager.crash engine.Engine.log;
+    dc_log =
+      (if Engine.split engine then Some (Log_manager.crash engine.Engine.dc_log) else None);
+    master = Tc.master engine.Engine.tc;
+  }
+
+let config t = t.config
+let master t = t.master
+
+let instantiate ?config t =
+  let config = Option.value config ~default:t.config in
+  (* A config override may retune cache sizes etc., but the log layout is a
+     property of what was logged: recovering a split image as integrated
+     would silently drop the DC log (and vice versa would look for one that
+     does not exist). *)
+  (match (t.dc_log, config.Config.log_layout) with
+  | Some _, Config.Split | None, Config.Integrated -> ()
+  | Some _, Config.Integrated ->
+      invalid_arg "Crash_image.instantiate: split-log image cannot be recovered as integrated"
+  | None, Config.Split ->
+      invalid_arg "Crash_image.instantiate: integrated image cannot be recovered as split");
+  let dc_log = Option.map Log_manager.crash t.dc_log in
+  Engine.assemble ?dc_log config ~store:(Page_store.clone t.store)
+    ~log:(Log_manager.crash t.log)
+
+let log_bytes t = Log_manager.end_lsn t.log
+let stable_pages t = Page_store.stable_count t.store

@@ -1,0 +1,117 @@
+module Lr = Deut_wal.Log_record
+module Log_manager = Deut_wal.Log_manager
+module Pool = Deut_buffer.Buffer_pool
+module Btree = Deut_btree.Btree
+
+type t = { engine : Engine.t }
+type txn = int
+
+let create ?(config = Config.default) () = { engine = Engine.fresh config }
+let of_engine engine = { engine }
+let engine t = t.engine
+let config t = t.engine.Engine.config
+let create_table t ~table = Dc.create_table t.engine.Engine.dc ~table
+let tables t = Dc.tables t.engine.Engine.dc
+let begin_txn t = Tc.begin_txn t.engine.Engine.tc
+
+let insert t txn ~table ~key ~value =
+  Tc.execute t.engine.Engine.tc t.engine.Engine.dc ~txn ~table ~key ~op:Lr.Insert
+    ~value:(Some value)
+
+let update t txn ~table ~key ~value =
+  Tc.execute t.engine.Engine.tc t.engine.Engine.dc ~txn ~table ~key ~op:Lr.Update
+    ~value:(Some value)
+
+let delete t txn ~table ~key =
+  Tc.execute t.engine.Engine.tc t.engine.Engine.dc ~txn ~table ~key ~op:Lr.Delete ~value:None
+
+let read t ~table ~key = Dc.read t.engine.Engine.dc ~table ~key
+
+let read_locked t txn ~table ~key =
+  match Tc.read_lock t.engine.Engine.tc ~txn ~table ~key with
+  | Ok () -> Ok (read t ~table ~key)
+  | Error _ as e -> e
+let commit_durable t txn = Tc.commit t.engine.Engine.tc t.engine.Engine.dc ~txn
+let commit t txn = ignore (commit_durable t txn)
+let flush_commits t = Tc.flush_commits t.engine.Engine.tc t.engine.Engine.dc
+let abort t txn = Tc.abort t.engine.Engine.tc t.engine.Engine.dc ~txn
+
+let put t ~table ~key ~value =
+  let txn = begin_txn t in
+  let result =
+    match read t ~table ~key with
+    | Some _ -> update t txn ~table ~key ~value
+    | None -> insert t txn ~table ~key ~value
+  in
+  (match result with
+  | Ok () -> commit t txn
+  | Error msg ->
+      abort t txn;
+      failwith ("Db.put: " ^ msg));
+  ()
+
+let checkpoint t = Tc.checkpoint t.engine.Engine.tc t.engine.Engine.dc
+
+let compact_log t =
+  let tc_point = Tc.log_archive_point t.engine.Engine.tc in
+  (* In ARIES-checkpointing mode the redo scan can start at the minimum
+     rLSN of the runtime DPT, which precedes the checkpoint; keep the log
+     back to there. *)
+  let point =
+    match (config t).Config.checkpoint_mode with
+    | Config.Penultimate -> tc_point
+    | Config.Aries_fuzzy ->
+        Array.fold_left
+          (fun acc (_, rlsn, _) -> Deut_wal.Lsn.min acc rlsn)
+          tc_point
+          (Monitor.runtime_dpt (Dc.monitor t.engine.Engine.dc))
+  in
+  if not (Deut_wal.Lsn.is_nil point) then Log_manager.compact t.engine.Engine.log ~keep_from:point;
+  if Engine.split t.engine then begin
+    let dc_point = Dc.dc_archive_point t.engine.Engine.dc in
+    if not (Deut_wal.Lsn.is_nil dc_point) then
+      Log_manager.compact t.engine.Engine.dc_log ~keep_from:dc_point
+  end
+
+let crash t = Crash_image.capture t.engine
+
+let recover ?config image method_ =
+  let engine, stats = Recovery.recover ?config image method_ in
+  ({ engine }, stats)
+
+let fold_table t ~table ~init ~f =
+  Btree.fold_entries (Dc.tree t.engine.Engine.dc ~table) ~init ~f
+
+let fold_range t ~table ~lo ~hi ~init ~f =
+  Deut_btree.Cursor.fold_range (Dc.tree t.engine.Engine.dc ~table) ~lo ~hi ~init ~f
+
+let scan t ~table ~lo ~hi =
+  List.rev (fold_range t ~table ~lo ~hi ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+let dump_table t ~table =
+  List.rev (fold_table t ~table ~init:[] ~f:(fun acc key value -> (key, value) :: acc))
+
+let entry_count t ~table = Btree.entry_count (Dc.tree t.engine.Engine.dc ~table)
+
+let check_integrity t =
+  let rec go = function
+    | [] -> Ok ()
+    | table :: rest -> (
+        match Btree.check_tree (Dc.tree t.engine.Engine.dc ~table) with
+        | Ok () -> go rest
+        | Error msg -> Error (Printf.sprintf "table %d: %s" table msg))
+  in
+  go (tables t)
+
+let dirty_page_count t = Pool.dirty_count t.engine.Engine.pool
+let cached_page_count t = Pool.size t.engine.Engine.pool
+let deltas_written t = Monitor.deltas_written (Dc.monitor t.engine.Engine.dc)
+let bws_written t = Monitor.bws_written (Dc.monitor t.engine.Engine.dc)
+let delta_bytes t = Monitor.delta_bytes (Dc.monitor t.engine.Engine.dc)
+let bw_bytes t = Monitor.bw_bytes (Dc.monitor t.engine.Engine.dc)
+let log_end t = Log_manager.end_lsn t.engine.Engine.log
+let log_record_count t = Log_manager.record_count t.engine.Engine.log
+let allocated_pages t = Deut_storage.Page_store.allocated_count t.engine.Engine.store
+let now_ms t = Deut_sim.Clock.now_ms t.engine.Engine.clock
+let stats t = Engine_stats.capture t.engine
+let stats_string t = Engine_stats.to_string (stats t)

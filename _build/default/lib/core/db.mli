@@ -1,0 +1,108 @@
+(** Public facade: a transactional key-value store with logical (TC/DC)
+    recovery — the paper's system as a library.
+
+    Typical use:
+    {[
+      let db = Db.create () in
+      Db.create_table db ~table:1;
+      let txn = Db.begin_txn db in
+      ignore (Db.insert db txn ~table:1 ~key:42 ~value:"hello");
+      Db.commit db txn;
+      Db.checkpoint db;
+      let image = Db.crash db in
+      let db', stats = Db.recover image Recovery.Log2 in
+      assert (Db.read db' ~table:1 ~key:42 = Some "hello")
+    ]} *)
+
+type t
+type txn = int
+
+val create : ?config:Config.t -> unit -> t
+val of_engine : Engine.t -> t
+val engine : t -> Engine.t
+val config : t -> Config.t
+
+val create_table : t -> table:int -> unit
+val tables : t -> int list
+
+(** {2 Transactions} *)
+
+val begin_txn : t -> txn
+
+val insert : t -> txn -> table:int -> key:int -> value:string -> (unit, string) result
+val update : t -> txn -> table:int -> key:int -> value:string -> (unit, string) result
+val delete : t -> txn -> table:int -> key:int -> (unit, string) result
+
+val read : t -> table:int -> key:int -> string option
+(** Latch-free read outside any transaction (no lock, no isolation). *)
+
+val read_locked : t -> txn -> table:int -> key:int -> (string option, string) result
+(** Transactional read: takes a shared key lock first when [Config.locking]
+    is enabled; a conflict returns [Error] and the caller should abort. *)
+
+val commit : t -> txn -> unit
+(** Commit.  With [Config.group_commit] > 1 the commit may remain in the
+    volatile log tail until the group's force; [commit_durable] reports
+    which, and [flush_commits] forces immediately. *)
+
+val commit_durable : t -> txn -> bool
+(** Like [commit], returning whether the commit is already durable. *)
+
+val flush_commits : t -> unit
+(** Force the log, making every queued group commit durable. *)
+
+val abort : t -> txn -> unit
+
+val put : t -> table:int -> key:int -> value:string -> unit
+(** Auto-commit upsert convenience. *)
+
+(** {2 Checkpointing, crash, recovery} *)
+
+val checkpoint : t -> unit
+
+val compact_log : t -> unit
+(** Archive log bytes no recovery could need (before the last completed
+    checkpoint and every active transaction's first record).  Long-running
+    workload drivers call this to bound memory; it has no observable
+    effect on recovery. *)
+
+val crash : t -> Crash_image.t
+(** Capture what survives: stable pages, stable log prefix, master record.
+    The returned image is reusable — each recovery runs on its own copies.
+    The crashed [t] must not be used afterwards. *)
+
+val recover : ?config:Config.t -> Crash_image.t -> Recovery.method_ -> t * Recovery_stats.t
+
+(** {2 Inspection} *)
+
+val fold_table : t -> table:int -> init:'a -> f:('a -> int -> string -> 'a) -> 'a
+
+val fold_range :
+  t -> table:int -> lo:int -> hi:int -> init:'a -> f:('a -> int -> string -> 'a) -> 'a
+(** Fold over entries with lo ≤ key < hi, in key order (cursor-based). *)
+
+val scan : t -> table:int -> lo:int -> hi:int -> (int * string) list
+(** Entries with lo <= key < hi, sorted by key. *)
+
+val dump_table : t -> table:int -> (int * string) list
+val entry_count : t -> table:int -> int
+
+val check_integrity : t -> (unit, string) result
+(** Structural invariants of every table's B-tree. *)
+
+val dirty_page_count : t -> int
+val cached_page_count : t -> int
+val deltas_written : t -> int
+val bws_written : t -> int
+val delta_bytes : t -> int
+val bw_bytes : t -> int
+val log_end : t -> Deut_wal.Lsn.t
+val log_record_count : t -> int
+val allocated_pages : t -> int
+val now_ms : t -> float
+
+val stats : t -> Engine_stats.t
+(** Snapshot of every engine counter. *)
+
+val stats_string : t -> string
+(** Human-readable rendering of {!stats}. *)

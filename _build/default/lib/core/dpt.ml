@@ -1,0 +1,47 @@
+module Lsn = Deut_wal.Lsn
+
+type entry = { mutable rlsn : Lsn.t; mutable last_lsn : Lsn.t }
+type t = (int, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 256
+let size = Hashtbl.length
+let mem = Hashtbl.mem
+
+let find t pid =
+  Option.map (fun e -> (e.rlsn, e.last_lsn)) (Hashtbl.find_opt t pid)
+
+let rlsn t pid = Option.map (fun e -> e.rlsn) (Hashtbl.find_opt t pid)
+
+let add t ~pid ~lsn =
+  match Hashtbl.find_opt t pid with
+  | Some e ->
+      if lsn > e.last_lsn then e.last_lsn <- lsn;
+      false
+  | None ->
+      Hashtbl.replace t pid { rlsn = lsn; last_lsn = lsn };
+      true
+
+let add_exact t ~pid ~rlsn ~last_lsn = Hashtbl.replace t pid { rlsn; last_lsn }
+let remove t pid = Hashtbl.remove t pid
+
+let raise_rlsn t ~pid ~to_ =
+  match Hashtbl.find_opt t pid with
+  | Some e when e.rlsn < to_ -> e.rlsn <- to_
+  | Some _ | None -> ()
+
+let set_last t ~pid lsn =
+  match Hashtbl.find_opt t pid with Some e -> e.last_lsn <- lsn | None -> ()
+
+let iter t f = Hashtbl.iter (fun pid e -> f pid ~rlsn:e.rlsn ~last_lsn:e.last_lsn) t
+
+let min_rlsn t =
+  Hashtbl.fold (fun _ e acc -> if Lsn.is_nil acc then e.rlsn else Lsn.min acc e.rlsn) t Lsn.nil
+
+let to_sorted_list t =
+  Hashtbl.fold (fun pid e acc -> (pid, e.rlsn, e.last_lsn) :: acc) t []
+  |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+
+let entries_by_rlsn t =
+  Hashtbl.fold (fun pid e acc -> (pid, e.rlsn) :: acc) t []
+  |> List.sort (fun (_, a) (_, b) -> Lsn.compare a b)
+  |> List.map fst

@@ -1,0 +1,62 @@
+(** Assembly of one running engine instance: clock, disks, stable store,
+    log, cache, DC, TC.  [Db] wraps this for users; the recovery drivers
+    assemble one from a crash image. *)
+
+module Clock = Deut_sim.Clock
+module Disk = Deut_sim.Disk
+module Page_store = Deut_storage.Page_store
+module Log_manager = Deut_wal.Log_manager
+module Pool = Deut_buffer.Buffer_pool
+
+type t = {
+  config : Config.t;
+  clock : Clock.t;
+  data_disk : Disk.t;
+  log_disk : Disk.t;
+  dc_log_disk : Disk.t option;  (* the DC log's own device in the split layout *)
+  store : Page_store.t;
+  log : Log_manager.t;  (* the TC log; also carries DC records when integrated *)
+  dc_log : Log_manager.t;  (* == [log] in the integrated layout *)
+  pool : Pool.t;
+  dc : Dc.t;
+  tc : Tc.t;
+}
+
+let split t = not (t.dc_log == t.log)
+
+let assemble ?dc_log config ~store ~log =
+  let clock = Clock.create () in
+  let data_disk = Disk.create ~params:config.Config.data_disk clock in
+  let log_disk = Disk.create ~params:config.Config.log_disk clock in
+  Log_manager.attach_read_disk log log_disk;
+  let dc_log, dc_log_disk =
+    match config.Config.log_layout with
+    | Config.Integrated -> (log, None)
+    | Config.Split ->
+        let own =
+          match dc_log with
+          | Some l -> l
+          | None -> Log_manager.create ~page_size:config.Config.page_size
+        in
+        let disk = Disk.create ~params:config.Config.log_disk clock in
+        Log_manager.attach_read_disk own disk;
+        (own, Some disk)
+  in
+  let pool =
+    Pool.create ~capacity:config.Config.pool_pages ~block_pages:config.Config.block_pages
+      ~lazy_writer_every:config.Config.lazy_writer_every
+      ~lazy_writer_min_age:(2 * config.Config.delta_period) ~store ~disk:data_disk ~clock ()
+  in
+  let dc =
+    Dc.create ~config ~clock ~disk:data_disk ~store ~pool ~dc_log
+      ~tc_force_upto:(Log_manager.force_upto log) ()
+  in
+  let tc = Tc.create ~config ~log in
+  { config; clock; data_disk; log_disk; dc_log_disk; store; log; dc_log; pool; dc; tc }
+
+let fresh config =
+  let store = Page_store.create ~page_size:config.Config.page_size in
+  let log = Log_manager.create ~page_size:config.Config.page_size in
+  let t = assemble config ~store ~log in
+  Dc.format t.dc;
+  t

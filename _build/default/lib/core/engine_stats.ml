@@ -1,0 +1,120 @@
+(** Introspection: one snapshot record over every counter the engine
+    keeps — cache, disks, logs, monitors — with a human-readable
+    rendering.  [Db.stats]/[Db.stats_string] expose it to users. *)
+
+module Pool = Deut_buffer.Buffer_pool
+module Disk = Deut_sim.Disk
+module Log = Deut_wal.Log_manager
+
+type t = {
+  (* cache *)
+  cache_capacity : int;
+  cache_resident : int;
+  cache_dirty : int;
+  hits : int;
+  misses : int;
+  hit_rate : float;
+  evictions : int;
+  flushes : int;
+  prefetch_issued : int;
+  prefetch_hits : int;
+  stalls : int;
+  stall_ms : float;
+  (* data disk *)
+  data_pages_read : int;
+  data_pages_written : int;
+  data_seeks : int;
+  data_sequential : int;
+  (* logs *)
+  split_logs : bool;
+  tc_log_records : int;
+  tc_log_bytes : int;
+  tc_log_retained_bytes : int;
+  tc_log_forces : int;
+  dc_log_records : int;
+  dc_log_retained_bytes : int;
+  (* monitors *)
+  delta_records : int;
+  delta_bytes : int;
+  bw_records : int;
+  bw_bytes : int;
+  (* database *)
+  allocated_pages : int;
+  stable_pages : int;
+  tables : int;
+  sim_now_ms : float;
+}
+
+let capture (engine : Engine.t) =
+  let pool = engine.Engine.pool in
+  let c = Pool.counters pool in
+  let d = Disk.counters engine.Engine.data_disk in
+  let log = engine.Engine.log in
+  let dc_log = engine.Engine.dc_log in
+  let monitor = Dc.monitor engine.Engine.dc in
+  (* Snapshot the mutable counters before anything below (listing the
+     catalog, sizing the pool) touches the cache and perturbs them. *)
+  let hits = c.Pool.hits
+  and misses = c.Pool.misses
+  and prefetch_hits = c.Pool.prefetch_hits
+  and prefetch_issued = c.Pool.prefetch_issued
+  and evictions = c.Pool.evictions
+  and flushes = c.Pool.flushes
+  and stalls = c.Pool.stalls
+  and stall_us = c.Pool.stall_us in
+  let lookups = hits + misses + prefetch_hits in
+  {
+    cache_capacity = Pool.capacity pool;
+    cache_resident = Pool.size pool;
+    cache_dirty = Pool.dirty_count pool;
+    hits;
+    misses;
+    hit_rate = (if lookups = 0 then 1.0 else float_of_int hits /. float_of_int lookups);
+    evictions;
+    flushes;
+    prefetch_issued;
+    prefetch_hits;
+    stalls;
+    stall_ms = stall_us /. 1000.0;
+    data_pages_read = d.Disk.pages_read;
+    data_pages_written = d.Disk.pages_written;
+    data_seeks = d.Disk.seeks;
+    data_sequential = d.Disk.sequential_requests;
+    split_logs = Engine.split engine;
+    tc_log_records = Log.record_count log;
+    tc_log_bytes = Log.end_lsn log;
+    tc_log_retained_bytes = Log.end_lsn log - Log.base_lsn log;
+    tc_log_forces = Log.force_count log;
+    dc_log_records = (if Engine.split engine then Log.record_count dc_log else 0);
+    dc_log_retained_bytes =
+      (if Engine.split engine then Log.end_lsn dc_log - Log.base_lsn dc_log else 0);
+    delta_records = Monitor.deltas_written monitor;
+    delta_bytes = Monitor.delta_bytes monitor;
+    bw_records = Monitor.bws_written monitor;
+    bw_bytes = Monitor.bw_bytes monitor;
+    allocated_pages = Deut_storage.Page_store.allocated_count engine.Engine.store;
+    stable_pages = Deut_storage.Page_store.stable_count engine.Engine.store;
+    tables = List.length (Dc.tables engine.Engine.dc);
+    sim_now_ms = Deut_sim.Clock.now_ms engine.Engine.clock;
+  }
+
+let to_string t =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "database:   %d tables, %d pages allocated (%d stable)" t.tables t.allocated_pages
+    t.stable_pages;
+  line "cache:      %d/%d resident, %d dirty; hits %d / misses %d (%.1f%% hit rate)"
+    t.cache_resident t.cache_capacity t.cache_dirty t.hits t.misses (100.0 *. t.hit_rate);
+  line "            evictions %d, flushes %d, prefetch %d issued / %d used, stalls %d (%.1f ms)"
+    t.evictions t.flushes t.prefetch_issued t.prefetch_hits t.stalls t.stall_ms;
+  line "data disk:  %d pages read, %d written; %d seeks, %d sequential" t.data_pages_read
+    t.data_pages_written t.data_seeks t.data_sequential;
+  line "tc log:     %d records, %d bytes (%d retained), %d forces" t.tc_log_records
+    t.tc_log_bytes t.tc_log_retained_bytes t.tc_log_forces;
+  if t.split_logs then
+    line "dc log:     %d records, %d bytes retained (split layout)" t.dc_log_records
+      t.dc_log_retained_bytes;
+  line "monitors:   %d Δ records (%d B), %d BW records (%d B)" t.delta_records t.delta_bytes
+    t.bw_records t.bw_bytes;
+  line "sim clock:  %.1f ms" t.sim_now_ms;
+  Buffer.contents b

@@ -1,0 +1,301 @@
+module Lr = Deut_wal.Log_record
+module Lsn = Deut_wal.Lsn
+module Log_manager = Deut_wal.Log_manager
+module Clock = Deut_sim.Clock
+module Disk = Deut_sim.Disk
+module Pool = Deut_buffer.Buffer_pool
+
+type method_ = Log0 | Log1 | Log2 | Sql1 | Sql2 | Aries_ckpt
+
+let method_to_string = function
+  | Log0 -> "Log0"
+  | Log1 -> "Log1"
+  | Log2 -> "Log2"
+  | Sql1 -> "SQL1"
+  | Sql2 -> "SQL2"
+  | Aries_ckpt -> "ARIES-ckpt"
+
+let all_methods = [ Log0; Log1; Sql1; Log2; Sql2 ]
+let is_logical = function Log0 | Log1 | Log2 -> true | Sql1 | Sql2 | Aries_ckpt -> false
+
+type scan_result = {
+  records : (Lsn.t * Lr.t) array;
+  losers : (int * Lsn.t) list;
+  max_txn : int;
+}
+
+(* Materialise the redo range once (charging its log IO) and reconstruct
+   the transaction table: losers are transactions with logged work but no
+   commit/abort, seeded from the end-checkpoint's captured table for
+   transactions whose records all precede the scan start. *)
+let scan_log log ~from =
+  let records = ref [] in
+  let n = ref 0 in
+  let last = Hashtbl.create 32 in
+  let finished = Hashtbl.create 32 in
+  let max_txn = ref 0 in
+  let note_txn txn = if txn > !max_txn then max_txn := txn in
+  let track lsn record =
+    match record with
+    | Lr.Update_rec u ->
+        note_txn u.Lr.txn;
+        Hashtbl.replace last u.Lr.txn lsn
+    | Lr.Clr c ->
+        note_txn c.Lr.txn;
+        Hashtbl.replace last c.Lr.txn lsn
+    | Lr.Commit { txn } | Lr.Abort { txn } ->
+        note_txn txn;
+        Hashtbl.remove last txn;
+        Hashtbl.replace finished txn ()
+    | Lr.End_ckpt { active; _ } ->
+        Array.iter
+          (fun (txn, last_lsn) ->
+            note_txn txn;
+            if (not (Hashtbl.mem finished txn)) && not (Hashtbl.mem last txn) then
+              if not (Lsn.is_nil last_lsn) then Hashtbl.replace last txn last_lsn)
+          active
+    | Lr.Begin_ckpt | Lr.Aries_ckpt_dpt _ | Lr.Bw _ | Lr.Delta _ | Lr.Smo _ -> ()
+  in
+  Log_manager.iter log ~from (fun lsn record ->
+      records := (lsn, record) :: !records;
+      incr n;
+      track lsn record);
+  let arr = Array.make !n (Lsn.nil, Lr.Begin_ckpt) in
+  let () =
+    (* The list is in reverse scan order. *)
+    List.iteri (fun i entry -> arr.(!n - 1 - i) <- entry) !records
+  in
+  let losers =
+    Hashtbl.fold (fun txn lsn acc -> (txn, lsn) :: acc) last []
+    |> List.sort (fun (_, a) (_, b) -> Lsn.compare b a)
+  in
+  { records = arr; losers; max_txn = !max_txn }
+
+(* Algorithm 3: SQL Server's analysis pass. *)
+let sql_analysis log ~from ~stats =
+  let dpt = Dpt.create () in
+  Log_manager.iter log ~from (fun lsn record ->
+      match record with
+      | Lr.Update_rec u -> ignore (Dpt.add dpt ~pid:u.Lr.pid_hint ~lsn)
+      | Lr.Clr c -> ignore (Dpt.add dpt ~pid:c.Lr.pid_hint ~lsn)
+      | Lr.Smo smo -> Array.iter (fun (pid, _) -> ignore (Dpt.add dpt ~pid ~lsn)) smo.Lr.pages
+      | Lr.Bw b ->
+          stats.Recovery_stats.bws_seen <- stats.Recovery_stats.bws_seen + 1;
+          Array.iter
+            (fun pid ->
+              match Dpt.find dpt pid with
+              | Some (rlsn, last) ->
+                  (* The paper's Algorithm 3 removes on lastLSN ≤ FW-LSN,
+                     with record-numbered LSNs.  Our LSNs are byte offsets,
+                     so FW-LSN (an end-of-stable-log) is EXCLUSIVE: a
+                     record starting exactly at FW-LSN was appended after
+                     the first write and is not covered by the flush — the
+                     test must be strict.  (Algorithm 4 is already written
+                     with a strict <.) *)
+                  if last < b.Lr.fw_lsn then Dpt.remove dpt pid
+                  else if rlsn < b.Lr.fw_lsn then Dpt.raise_rlsn dpt ~pid ~to_:b.Lr.fw_lsn
+              | None -> ())
+            b.Lr.written
+      | Lr.Delta _ -> stats.Recovery_stats.deltas_seen <- stats.Recovery_stats.deltas_seen + 1
+      | Lr.Commit _ | Lr.Abort _ | Lr.Begin_ckpt | Lr.End_ckpt _ | Lr.Aries_ckpt_dpt _ -> ());
+  stats.Recovery_stats.dpt_size <- Dpt.size dpt;
+  dpt
+
+(* §3.1: classic ARIES analysis — seed from the checkpoint-captured DPT,
+   add first mentions, no flush-based pruning. *)
+let aries_analysis log ~from ~stats =
+  let dpt = Dpt.create () in
+  let seeded = ref false in
+  Log_manager.iter log ~from (fun lsn record ->
+      match record with
+      | Lr.Update_rec u -> ignore (Dpt.add dpt ~pid:u.Lr.pid_hint ~lsn)
+      | Lr.Clr c -> ignore (Dpt.add dpt ~pid:c.Lr.pid_hint ~lsn)
+      | Lr.Smo smo -> Array.iter (fun (pid, _) -> ignore (Dpt.add dpt ~pid ~lsn)) smo.Lr.pages
+      | Lr.Aries_ckpt_dpt { entries } when not !seeded ->
+          seeded := true;
+          Array.iter
+            (fun (pid, rlsn, last_lsn) ->
+              match Dpt.find dpt pid with
+              | Some (existing_rlsn, _) when existing_rlsn <= rlsn -> ()
+              | Some _ | None -> Dpt.add_exact dpt ~pid ~rlsn ~last_lsn)
+            entries
+      | Lr.Aries_ckpt_dpt _ -> ()
+      | Lr.Bw _ -> stats.Recovery_stats.bws_seen <- stats.Recovery_stats.bws_seen + 1
+      | Lr.Delta _ -> stats.Recovery_stats.deltas_seen <- stats.Recovery_stats.deltas_seen + 1
+      | Lr.Commit _ | Lr.Abort _ | Lr.Begin_ckpt | Lr.End_ckpt _ -> ());
+  stats.Recovery_stats.dpt_size <- Dpt.size dpt;
+  let redo_start =
+    let m = Dpt.min_rlsn dpt in
+    if Lsn.is_nil m then from else if Lsn.is_nil from then m else Lsn.min m from
+  in
+  (dpt, redo_start)
+
+(* Data-page prefetch driver for Log2 (Appendix A.2): keep the in-flight
+   set topped up from either the PF-list (the paper's log-driven choice,
+   deduplicated DirtySets in update order, skipping entries since pruned
+   from the DPT) or the DPT itself in ascending rLSN order (the discussed
+   alternative). *)
+let make_pf_prefetcher dc =
+  let pf =
+    match (Dc.config dc).Config.prefetch_source with
+    | Config.Pf_list -> Dc.pf_list dc
+    | Config.Dpt_order -> Array.of_list (Dpt.entries_by_rlsn (Dc.dpt dc))
+  in
+  let pool = Dc.pool dc in
+  let config = Dc.config dc in
+  let pos = ref 0 in
+  fun () ->
+    if Pool.in_flight_count pool < config.Config.prefetch_window then begin
+      let chunk = ref [] in
+      let picked = ref 0 in
+      while !picked < config.Config.prefetch_chunk && !pos < Array.length pf do
+        let pid = pf.(!pos) in
+        incr pos;
+        if Dpt.mem (Dc.dpt dc) pid then begin
+          chunk := pid :: !chunk;
+          incr picked
+        end
+      done;
+      if !chunk <> [] then Pool.prefetch pool (List.rev !chunk)
+    end
+
+(* Log-driven prefetch for SQL2 (Appendix A.2): examine records ahead of
+   the redo cursor; pids that pass the DPT/rLSN test are prefetched. *)
+let make_log_prefetcher dc (records : (Lsn.t * Lr.t) array) =
+  let pool = Dc.pool dc in
+  let config = Dc.config dc in
+  let ahead = ref 0 in
+  fun current_index ->
+    if Pool.in_flight_count pool < config.Config.prefetch_window then begin
+      if !ahead <= current_index then ahead := current_index + 1;
+      let horizon = min (Array.length records) (current_index + config.Config.prefetch_lookahead) in
+      let chunk = ref [] in
+      let picked = ref 0 in
+      while !picked < config.Config.prefetch_chunk && !ahead < horizon do
+        let lsn, record = records.(!ahead) in
+        incr ahead;
+        (match Lr.redo_view record with
+        | Some view -> (
+            match Dpt.find (Dc.dpt dc) view.Lr.rv_pid with
+            | Some (rlsn, _) when lsn >= rlsn ->
+                chunk := view.Lr.rv_pid :: !chunk;
+                incr picked
+            | Some _ | None -> ())
+        | None -> ())
+      done;
+      if !chunk <> [] then Pool.prefetch pool (List.rev !chunk)
+    end
+
+let redo_pass method_ (engine : Engine.t) (scan : scan_result) ~stats =
+  let dc = engine.Engine.dc in
+  let prefetch_pf = if method_ = Log2 then Some (make_pf_prefetcher dc) else None in
+  let prefetch_log = if method_ = Sql2 then Some (make_log_prefetcher dc scan.records) else None in
+  Array.iteri
+    (fun i (lsn, record) ->
+      stats.Recovery_stats.records_scanned <- stats.Recovery_stats.records_scanned + 1;
+      (match prefetch_pf with Some f -> f () | None -> ());
+      (match prefetch_log with Some f -> f i | None -> ());
+      match record with
+      | Lr.Smo smo ->
+          (* Logical methods replayed SMOs in the DC pass; physiological
+             redo replays them in log order under the DPT test. *)
+          if not (is_logical method_) then Dc.redo_smo dc ~lsn ~smo ~dpt_test:true ~stats
+      | _ -> (
+          match Lr.redo_view record with
+          | None -> ()
+          | Some view -> (
+              match method_ with
+              | Log0 -> Dc.redo_logical dc ~lsn ~view ~use_dpt:false ~stats
+              | Log1 | Log2 -> Dc.redo_logical dc ~lsn ~view ~use_dpt:true ~stats
+              | Sql1 | Sql2 | Aries_ckpt -> Dc.redo_physiological dc ~lsn ~view ~use_dpt:true ~stats
+              )))
+    scan.records
+
+let recover ?config ?undo_fault_after_clrs image method_ =
+  let engine = Crash_image.instantiate ?config image in
+  let { Engine.clock; log; pool; dc; tc; _ } = engine in
+  let split = Engine.split engine in
+  if split && not (is_logical method_) then
+    invalid_arg
+      (Printf.sprintf
+         "Recovery.recover: %s needs page ids on the TC log and cannot run in the split-log           layout (§5.1)"
+         (method_to_string method_));
+  let stats = Recovery_stats.create () in
+  let bckpt = Crash_image.master image in
+  Pool.reset_counters pool;
+  Pool.set_lazy_writer_enabled pool false;
+  (* Redo must not reorganise the tree while logged SMOs are still being
+     replayed; merging resumes for undo and normal operation. *)
+  Dc.set_merge_allowed dc false;
+  let log_disk_counters = Disk.counters engine.Engine.log_disk in
+  let dc_log_disk_counters = Option.map Disk.counters engine.Engine.dc_log_disk in
+  (* Phase 1: analysis / DC recovery.  The DC scans its own records: the
+     shared log from the checkpoint when integrated, its entire (short)
+     private log when split. *)
+  let dc_log = engine.Engine.dc_log in
+  let dc_from = if split then Lsn.nil else if Lsn.is_nil bckpt then Lsn.nil else bckpt in
+  let t0 = Clock.now clock in
+  let redo_start =
+    match method_ with
+    | Log0 ->
+        Dc.dc_recovery dc ~log:dc_log ~from:dc_from ~bckpt ~build_dpt:false ~stats;
+        bckpt
+    | Log1 ->
+        Dc.dc_recovery dc ~log:dc_log ~from:dc_from ~bckpt ~build_dpt:true ~stats;
+        bckpt
+    | Log2 ->
+        Dc.dc_recovery dc ~log:dc_log ~from:dc_from ~bckpt ~build_dpt:true ~stats;
+        Dc.preload_indexes dc ~stats;
+        bckpt
+    | Sql1 | Sql2 ->
+        Dc.set_dpt dc (sql_analysis log ~from:bckpt ~stats);
+        bckpt
+    | Aries_ckpt ->
+        let dpt, redo_start = aries_analysis log ~from:bckpt ~stats in
+        Dc.set_dpt dc dpt;
+        redo_start
+  in
+  stats.Recovery_stats.analysis_us <- Clock.now clock -. t0;
+  (* Phase 2+3: materialise the redo range, then redo. *)
+  let t1 = Clock.now clock in
+  let scan = scan_log log ~from:redo_start in
+  redo_pass method_ engine scan ~stats;
+  stats.Recovery_stats.redo_us <- Clock.now clock -. t1;
+  (* Phase 4: logical undo of losers (identical across methods, §2.1).
+     The tree is fully replayed now; maintenance may resume. *)
+  Dc.set_merge_allowed dc true;
+  let t2 = Clock.now clock in
+  Tc.restore_txn_state tc ~losers:scan.losers ~next_txn:(scan.max_txn + 1);
+  Tc.set_master tc bckpt;
+  stats.Recovery_stats.losers <- List.length scan.losers;
+  (try
+     List.iter
+       (fun (txn, last) ->
+         let budget =
+           Option.map
+             (fun n -> n - stats.Recovery_stats.clrs_written)
+             undo_fault_after_clrs
+         in
+         stats.Recovery_stats.clrs_written <-
+           stats.Recovery_stats.clrs_written
+           + Tc.undo_txn ?fault_after_clrs:budget tc dc ~txn ~last)
+       scan.losers
+   with Tc.Undo_interrupted n ->
+     stats.Recovery_stats.clrs_written <- stats.Recovery_stats.clrs_written + n);
+  stats.Recovery_stats.undo_us <- Clock.now clock -. t2;
+  Pool.set_lazy_writer_enabled pool true;
+  (* Finalise the IO accounting. *)
+  let c = Pool.counters pool in
+  let total_fetches = c.Pool.misses + c.Pool.prefetch_hits in
+  stats.Recovery_stats.data_page_fetches <-
+    total_fetches - stats.Recovery_stats.index_page_fetches;
+  stats.Recovery_stats.data_stall_us <-
+    c.Pool.stall_us -. stats.Recovery_stats.index_stall_us;
+  stats.Recovery_stats.log_pages_read <-
+    log_disk_counters.Disk.pages_read
+    + (match dc_log_disk_counters with Some c -> c.Disk.pages_read | None -> 0);
+  stats.Recovery_stats.prefetch_issued <- c.Pool.prefetch_issued;
+  stats.Recovery_stats.prefetch_hits <- c.Pool.prefetch_hits;
+  stats.Recovery_stats.stalls <- c.Pool.stalls;
+  Dc.open_tables dc;
+  (engine, stats)

@@ -1,0 +1,66 @@
+(** Recovery drivers: the five methods compared side-by-side in §5.2, plus
+    the classic-ARIES-checkpointing ablation.
+
+    - [Log0] — basic logical redo (Algorithm 2): every update re-traverses
+      the B-tree and fetches its page.
+    - [Log1] — logical redo with the Δ-record-built DPT (Algorithms 4+5),
+      no prefetch.
+    - [Log2] — Log1 plus index preloading and PF-list data prefetch
+      (Appendix A).
+    - [Sql1] — physiological redo with the BW-record-built DPT
+      (Algorithms 3+1), no prefetch.
+    - [Sql2] — Sql1 plus log-driven data prefetch.
+    - [Aries_ckpt] — physiological redo with the DPT captured at
+      checkpoints (§3.1); requires the workload to have run in
+      [Aries_fuzzy] checkpoint mode.
+
+    All methods run from deep copies of the same crash image, finish with
+    the same logical undo pass, and report {!Recovery_stats}. *)
+
+type method_ = Log0 | Log1 | Log2 | Sql1 | Sql2 | Aries_ckpt
+
+val method_to_string : method_ -> string
+val all_methods : method_ list
+(** The five paper methods, in the paper's order (no [Aries_ckpt]). *)
+
+val is_logical : method_ -> bool
+
+val recover :
+  ?config:Config.t ->
+  ?undo_fault_after_clrs:int ->
+  Crash_image.t ->
+  method_ ->
+  Engine.t * Recovery_stats.t
+(** Instantiate the image and run the full recovery sequence:
+    analysis/DC-recovery, redo, undo.  The returned engine is ready for
+    normal execution.  [config] overrides the image's configuration (e.g.
+    a different cache size at the replica).
+
+    [undo_fault_after_clrs] is test-only fault injection: abandon the undo
+    pass after that many CLRs, returning an engine in the state of a
+    system that crashed mid-undo (crash it and recover again to exercise
+    CLR/undo-next resumption). *)
+
+(** Exposed for tests: the scan that materialises the redo range and finds
+    loser transactions. *)
+type scan_result = {
+  records : (Deut_wal.Lsn.t * Deut_wal.Log_record.t) array;
+  losers : (int * Deut_wal.Lsn.t) list;
+  max_txn : int;
+}
+
+val scan_log : Deut_wal.Log_manager.t -> from:Deut_wal.Lsn.t -> scan_result
+
+val sql_analysis :
+  Deut_wal.Log_manager.t -> from:Deut_wal.Lsn.t -> stats:Recovery_stats.t -> Dpt.t
+(** Algorithm 3: SQL Server's DPT construction from update pids and
+    BW-log records. *)
+
+val aries_analysis :
+  Deut_wal.Log_manager.t ->
+  from:Deut_wal.Lsn.t ->
+  stats:Recovery_stats.t ->
+  Dpt.t * Deut_wal.Lsn.t
+(** §3.1: DPT from the checkpoint-captured image plus first mentions in
+    the scan; returns the DPT and the redo scan start point (minimum
+    rLSN). *)

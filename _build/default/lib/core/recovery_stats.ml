@@ -1,0 +1,81 @@
+(** Measurements of one recovery run — the quantities behind every figure
+    and table in the paper's evaluation (§5.3, Appendices B and C). *)
+
+type t = {
+  mutable analysis_us : float;  (** DC-recovery / analysis pass time *)
+  mutable redo_us : float;
+  mutable undo_us : float;
+  mutable records_scanned : int;  (** redo-range records examined *)
+  mutable redo_candidates : int;  (** update/CLR records subjected to a redo test *)
+  mutable redo_applied : int;
+  mutable skipped_dpt : int;  (** bypassed: page not in DPT (no page fetch) *)
+  mutable skipped_rlsn : int;  (** bypassed: LSN below the entry's rLSN (no fetch) *)
+  mutable skipped_plsn : int;  (** fetched, then bypassed by the pLSN test *)
+  mutable tail_records : int;  (** logical ops past the last Δ record (basic mode) *)
+  mutable data_page_fetches : int;
+  mutable index_page_fetches : int;
+  mutable data_stall_us : float;
+  mutable index_stall_us : float;
+  mutable log_pages_read : int;
+  mutable dpt_size : int;
+  mutable deltas_seen : int;  (** Δ-log records seen by the analysis pass (Fig. 2c) *)
+  mutable bws_seen : int;  (** BW-log records seen by the analysis pass (Fig. 2c) *)
+  mutable smos_replayed : int;
+  mutable losers : int;
+  mutable clrs_written : int;
+  mutable prefetch_issued : int;
+  mutable prefetch_hits : int;
+  mutable stalls : int;
+}
+
+let create () =
+  {
+    analysis_us = 0.0;
+    redo_us = 0.0;
+    undo_us = 0.0;
+    records_scanned = 0;
+    redo_candidates = 0;
+    redo_applied = 0;
+    skipped_dpt = 0;
+    skipped_rlsn = 0;
+    skipped_plsn = 0;
+    tail_records = 0;
+    data_page_fetches = 0;
+    index_page_fetches = 0;
+    data_stall_us = 0.0;
+    index_stall_us = 0.0;
+    log_pages_read = 0;
+    dpt_size = 0;
+    deltas_seen = 0;
+    bws_seen = 0;
+    smos_replayed = 0;
+    losers = 0;
+    clrs_written = 0;
+    prefetch_issued = 0;
+    prefetch_hits = 0;
+    stalls = 0;
+  }
+
+let redo_ms t = t.redo_us /. 1000.0
+let analysis_ms t = t.analysis_us /. 1000.0
+let undo_ms t = t.undo_us /. 1000.0
+let total_ms t = (t.analysis_us +. t.redo_us +. t.undo_us) /. 1000.0
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>analysis %.1f ms, redo %.1f ms, undo %.1f ms@,\
+     records: scanned %d, candidates %d, applied %d, tail %d@,\
+     skips: dpt %d, rlsn %d, plsn %d@,\
+     fetches: data %d (stall %.1f ms), index %d (stall %.1f ms), log pages %d@,\
+     dpt %d entries; Δ seen %d, BW seen %d, SMO replayed %d@,\
+     prefetch: issued %d, hits %d, stalls %d@,\
+     undo: losers %d, CLRs %d@]"
+    (analysis_ms t) (redo_ms t) (undo_ms t) t.records_scanned t.redo_candidates t.redo_applied
+    t.tail_records t.skipped_dpt t.skipped_rlsn t.skipped_plsn t.data_page_fetches
+    (t.data_stall_us /. 1000.0)
+    t.index_page_fetches
+    (t.index_stall_us /. 1000.0)
+    t.log_pages_read t.dpt_size t.deltas_seen t.bws_seen t.smos_replayed t.prefetch_issued
+    t.prefetch_hits t.stalls t.losers t.clrs_written
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,197 @@
+module Lr = Deut_wal.Log_record
+module Lsn = Deut_wal.Lsn
+module Log_manager = Deut_wal.Log_manager
+
+type t = {
+  config : Config.t;
+  log : Log_manager.t;
+  mutable next_txn : int;
+  active : (int, Lsn.t) Hashtbl.t;  (* txn -> lastLSN of its chain *)
+  starts : (int, Lsn.t) Hashtbl.t;  (* txn -> first LSN ([nil] = unknown) *)
+  locks : Lock_table.t;
+  mutable queued_commits : int;
+  mutable master : Lsn.t;
+}
+
+let create ~config ~log =
+  {
+    config;
+    log;
+    next_txn = 1;
+    active = Hashtbl.create 32;
+    starts = Hashtbl.create 32;
+    locks = Lock_table.create ();
+    queued_commits = 0;
+    master = Lsn.nil;
+  }
+let log t = t.log
+let master t = t.master
+let set_master t lsn = t.master <- lsn
+
+let begin_txn t =
+  let txn = t.next_txn in
+  t.next_txn <- txn + 1;
+  Hashtbl.replace t.active txn Lsn.nil;
+  txn
+
+let active_txns t =
+  Hashtbl.fold (fun txn last acc -> (txn, last) :: acc) t.active []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> Array.of_list
+
+let restore_txn_state t ~losers ~next_txn =
+  Hashtbl.reset t.active;
+  Hashtbl.reset t.starts;
+  List.iter
+    (fun (txn, last) ->
+      Hashtbl.replace t.active txn last;
+      (* First LSN unknown for a loser; [nil] blocks log archiving until
+         the undo pass finishes it. *)
+      Hashtbl.replace t.starts txn Lsn.nil)
+    losers;
+  t.next_txn <- next_txn
+
+(* The log may be archived up to here: no recovery scan (master) nor undo
+   chain (active transactions' first records) can reach further back. *)
+let log_archive_point t =
+  Hashtbl.fold (fun _ first acc -> Lsn.min first acc) t.starts t.master
+
+let last_lsn_of t txn =
+  match Hashtbl.find_opt t.active txn with
+  | Some lsn -> lsn
+  | None -> invalid_arg (Printf.sprintf "Tc: transaction %d is not active" txn)
+
+let lock t ~txn ~table ~key mode =
+  if not t.config.Config.locking then Ok ()
+  else
+    match Lock_table.acquire t.locks ~txn ~table ~key mode with
+    | Ok () -> Ok ()
+    | Error holder -> Error (Printf.sprintf "lock conflict with txn %d" holder)
+
+let read_lock t ~txn ~table ~key = lock t ~txn ~table ~key Lock_table.Shared
+let locks_held t ~txn = Lock_table.held_by t.locks ~txn
+
+let execute t dc ~txn ~table ~key ~op ~value =
+  let prev_lsn = last_lsn_of t txn in
+  let value_len = match value with Some v -> String.length v | None -> 0 in
+  match lock t ~txn ~table ~key Lock_table.Exclusive with
+  | Error _ as e -> e
+  | Ok () ->
+  match Dc.prepare dc ~table ~key ~op ~value_len with
+  | Deut_btree.Btree.Duplicate_key -> Error "duplicate key"
+  | Deut_btree.Btree.Missing_key -> Error "missing key"
+  | Deut_btree.Btree.Leaf { pid; before } ->
+      let lsn =
+        Log_manager.append t.log
+          (Lr.Update_rec { txn; table; key; op; before; after = value; pid_hint = pid; prev_lsn })
+      in
+      if Lsn.is_nil prev_lsn then Hashtbl.replace t.starts txn lsn;
+      Hashtbl.replace t.active txn lsn;
+      Dc.apply dc ~table ~pid ~key ~op ~value ~lsn;
+      Dc.tick_update dc;
+      Ok ()
+
+let force_now t dc =
+  Log_manager.force t.log;
+  t.queued_commits <- 0;
+  Dc.eosl dc (Log_manager.stable_lsn t.log)
+
+let flush_commits t dc = force_now t dc
+
+let commit t dc ~txn =
+  ignore (last_lsn_of t txn);
+  ignore (Log_manager.append t.log (Lr.Commit { txn }));
+  Hashtbl.remove t.active txn;
+  Hashtbl.remove t.starts txn;
+  Lock_table.release_all t.locks ~txn;
+  t.queued_commits <- t.queued_commits + 1;
+  if t.queued_commits >= Stdlib.max 1 t.config.Config.group_commit then begin
+    force_now t dc;
+    true
+  end
+  else false
+
+exception Undo_interrupted of int
+
+(* Walk the backward chain, compensating each update.  CLRs are redo-only:
+   their undo-next pointer lets a crash-interrupted undo resume where it
+   left off instead of compensating twice. *)
+let undo_txn ?fault_after_clrs t dc ~txn ~last =
+  let clrs = ref 0 in
+  let maybe_fault () =
+    match fault_after_clrs with
+    | Some n when !clrs >= n ->
+        (* Simulated crash mid-undo: the CLRs written so far are on the
+           log; the transaction stays unresolved. *)
+        Log_manager.force t.log;
+        raise (Undo_interrupted !clrs)
+    | Some _ | None -> ()
+  in
+  let compensate (u : Lr.update) =
+    let op, value =
+      match u.Lr.op with
+      | Lr.Insert -> (Lr.Delete, None)
+      | Lr.Update -> (Lr.Update, u.Lr.before)
+      | Lr.Delete -> (Lr.Insert, u.Lr.before)
+    in
+    let value_len = match value with Some v -> String.length v | None -> 0 in
+    match Dc.prepare dc ~table:u.Lr.table ~key:u.Lr.key ~op ~value_len with
+    | Deut_btree.Btree.Leaf { pid; _ } ->
+        let lsn =
+          Log_manager.append t.log
+            (Lr.Clr
+               {
+                 txn;
+                 table = u.Lr.table;
+                 key = u.Lr.key;
+                 op;
+                 value;
+                 pid_hint = pid;
+                 undo_next = u.Lr.prev_lsn;
+               })
+        in
+        Hashtbl.replace t.active txn lsn;
+        Dc.apply dc ~table:u.Lr.table ~pid ~key:u.Lr.key ~op ~value ~lsn;
+        incr clrs
+    | Deut_btree.Btree.Duplicate_key | Deut_btree.Btree.Missing_key ->
+        failwith "Tc.undo_txn: compensation rejected — state diverged from the log"
+  in
+  let rec walk lsn =
+    maybe_fault ();
+    if not (Lsn.is_nil lsn) then begin
+      let record, _next = Log_manager.read_at t.log lsn in
+      match record with
+      | Lr.Update_rec u when u.Lr.txn = txn ->
+          compensate u;
+          walk u.Lr.prev_lsn
+      | Lr.Clr c when c.Lr.txn = txn -> walk c.Lr.undo_next
+      | other ->
+          failwith
+            (Printf.sprintf "Tc.undo_txn: unexpected record in txn %d chain: %s" txn
+               (Lr.describe other))
+    end
+  in
+  walk last;
+  ignore (Log_manager.append t.log (Lr.Abort { txn }));
+  Hashtbl.remove t.active txn;
+  Hashtbl.remove t.starts txn;
+  Lock_table.release_all t.locks ~txn;
+  force_now t dc;
+  !clrs
+
+let abort t dc ~txn = ignore (undo_txn t dc ~txn ~last:(last_lsn_of t txn))
+
+let checkpoint t dc =
+  let bckpt = Log_manager.append t.log Lr.Begin_ckpt in
+  force_now t dc;
+  (match t.config.Config.checkpoint_mode with
+  | Config.Penultimate ->
+      (* RSSP: the DC must flush everything dirtied before [bckpt] before
+         the checkpoint may complete. *)
+      Dc.rssp dc bckpt
+  | Config.Aries_fuzzy ->
+      let entries = Monitor.runtime_dpt (Dc.monitor dc) in
+      ignore (Log_manager.append t.log (Lr.Aries_ckpt_dpt { entries })));
+  ignore (Log_manager.append t.log (Lr.End_ckpt { bckpt; active = active_txns t }));
+  force_now t dc;
+  t.master <- bckpt

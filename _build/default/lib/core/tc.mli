@@ -1,0 +1,81 @@
+(** The transactional component (TC): transaction table, logical logging,
+    commit/abort, undo with CLRs, and checkpointing.
+
+    The TC logs operations by (table, key) — it does not know pages.  The
+    physiological pid rides along in the record purely so the ARIES/SQL
+    baseline can recover from the same log (§5.1).  It coordinates with
+    the DC through EOSL (every commit force) and RSSP (each checkpoint),
+    the two control operations of §4.1. *)
+
+type t
+
+val create : config:Config.t -> log:Deut_wal.Log_manager.t -> t
+val log : t -> Deut_wal.Log_manager.t
+
+val master : t -> Deut_wal.Lsn.t
+(** Begin-checkpoint LSN of the last completed checkpoint — the redo scan
+    start point (kept in the "master record" outside the log, as real
+    systems do). *)
+
+val set_master : t -> Deut_wal.Lsn.t -> unit
+
+val begin_txn : t -> int
+val active_txns : t -> (int * Deut_wal.Lsn.t) array
+val restore_txn_state : t -> losers:(int * Deut_wal.Lsn.t) list -> next_txn:int -> unit
+
+val execute :
+  t ->
+  Dc.t ->
+  txn:int ->
+  table:int ->
+  key:int ->
+  op:Deut_wal.Log_record.op_kind ->
+  value:string option ->
+  (unit, string) result
+(** One data operation: DC routes and reports the before-image, the TC
+    logs the logical record, the DC applies it under the record's LSN.
+    With [Config.locking] on, an exclusive key lock is taken first; a
+    conflict returns [Error] and the caller should abort. *)
+
+val read_lock : t -> txn:int -> table:int -> key:int -> (unit, string) result
+(** Shared key lock for a transactional read (no-op unless locking is on). *)
+
+val locks_held : t -> txn:int -> int
+
+val commit : t -> Dc.t -> txn:int -> bool
+(** Append the commit record; force the log every [Config.group_commit]
+    commits.  Returns whether this commit is durable yet — [false] means it
+    sits in the volatile tail until the next force (or [flush_commits])
+    and would be undone by a crash before then. *)
+
+val flush_commits : t -> Dc.t -> unit
+(** Force the log now, making every queued commit durable. *)
+
+val abort : t -> Dc.t -> txn:int -> unit
+(** Roll the transaction back through its chain, logging CLRs. *)
+
+exception Undo_interrupted of int
+(** Raised by [undo_txn] when the test-only fault fires; carries the number
+    of CLRs written before the "crash". *)
+
+val undo_txn : ?fault_after_clrs:int -> t -> Dc.t -> txn:int -> last:Deut_wal.Lsn.t -> int
+(** Undo machinery shared by [abort] and the recovery undo pass: walk the
+    backward chain from [last], apply logical compensations (CLR-logged,
+    redo-only), skip over already-compensated work via undo-next, finish
+    with an abort record.  Returns the number of CLRs written.
+
+    [fault_after_clrs] is fault injection for tests: stop (raising
+    {!Undo_interrupted}) after that many CLRs, before the abort record —
+    the state of a system that crashed mid-undo.  A subsequent recovery
+    must resume compensation at the last CLR's undo-next, never
+    compensating the same update twice. *)
+
+val log_archive_point : t -> Deut_wal.Lsn.t
+(** The LSN up to which the log may be archived: the minimum of the master
+    record and every active transaction's first LSN ([Lsn.nil] if that is
+    unknown, blocking archiving). *)
+
+val checkpoint : t -> Dc.t -> unit
+(** [Penultimate]: begin-ckpt → RSSP (DC flushes everything dirtied before
+    it) → end-ckpt (§3.2).  [Aries_fuzzy]: begin-ckpt → capture the DC's
+    runtime DPT in the log → end-ckpt, no flushing (§3.1). *)

@@ -1,0 +1,1 @@
+lib/sim/disk.ml: Clock Float Int List

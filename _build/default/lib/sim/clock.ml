@@ -1,0 +1,12 @@
+type t = { mutable now_us : float }
+
+let create () = { now_us = 0.0 }
+let now t = t.now_us
+let now_ms t = t.now_us /. 1000.0
+
+let advance t us =
+  if us < 0.0 then invalid_arg "Clock.advance: negative duration";
+  t.now_us <- t.now_us +. us
+
+let advance_to t deadline = if deadline > t.now_us then t.now_us <- deadline
+let reset t = t.now_us <- 0.0

@@ -1,0 +1,28 @@
+(** Virtual clock for discrete-event simulation.
+
+    All components that consume simulated time (the disk model, CPU cost
+    accounting in the recovery passes) share one clock.  Time is measured in
+    microseconds as a float; experiments report milliseconds. *)
+
+type t
+
+val create : unit -> t
+(** A clock starting at time 0. *)
+
+val now : t -> float
+(** Current simulated time in microseconds. *)
+
+val now_ms : t -> float
+(** Current simulated time in milliseconds. *)
+
+val advance : t -> float -> unit
+(** [advance t us] moves the clock forward by [us] microseconds.  Negative
+    durations are rejected with [Invalid_argument]. *)
+
+val advance_to : t -> float -> unit
+(** [advance_to t deadline] moves the clock to [deadline] if the deadline is
+    in the future; otherwise does nothing.  Used to model waiting for an
+    asynchronous IO completion. *)
+
+val reset : t -> unit
+(** Rewind to time 0 (used when re-running recovery from a crash image). *)

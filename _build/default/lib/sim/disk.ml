@@ -1,0 +1,111 @@
+type params = {
+  seek_us : float;
+  transfer_us : float;
+  sequential_gap : int;
+  batch_seek_factor : float;
+}
+
+let default_params =
+  { seek_us = 4000.0; transfer_us = 50.0; sequential_gap = 1; batch_seek_factor = 0.75 }
+
+type counters = {
+  mutable requests : int;
+  mutable pages_read : int;
+  mutable pages_written : int;
+  mutable seeks : int;
+  mutable sequential_requests : int;
+}
+
+type t = {
+  clock : Clock.t;
+  params : params;
+  counters : counters;
+  mutable free_at : float;  (* when the queue drains *)
+  mutable head_pos : int;  (* pid just past the last request served *)
+}
+
+let create ?(params = default_params) clock =
+  {
+    clock;
+    params;
+    counters =
+      { requests = 0; pages_read = 0; pages_written = 0; seeks = 0; sequential_requests = 0 };
+    free_at = 0.0;
+    head_pos = -1000;
+  }
+
+let params t = t.params
+let counters t = t.counters
+
+let reset_counters t =
+  let c = t.counters in
+  c.requests <- 0;
+  c.pages_read <- 0;
+  c.pages_written <- 0;
+  c.seeks <- 0;
+  c.sequential_requests <- 0
+
+let busy_until t = Float.max t.free_at (Clock.now t.clock)
+
+(* Core queueing step: a request for [count] pages starting at [first_pid]
+   begins when the disk is free, pays a seek unless it continues the previous
+   transfer, and transfers each page.  Returns the completion time. *)
+let submit t ~first_pid ~count =
+  let start = Float.max t.free_at (Clock.now t.clock) in
+  let sequential = abs (first_pid - t.head_pos) <= t.params.sequential_gap in
+  let seek = if sequential then 0.0 else t.params.seek_us in
+  let completion = start +. seek +. (float_of_int count *. t.params.transfer_us) in
+  t.free_at <- completion;
+  t.head_pos <- first_pid + count;
+  t.counters.requests <- t.counters.requests + 1;
+  if sequential then t.counters.sequential_requests <- t.counters.sequential_requests + 1
+  else t.counters.seeks <- t.counters.seeks + 1;
+  completion
+
+let submit_read t ~pid =
+  let completion = submit t ~first_pid:pid ~count:1 in
+  t.counters.pages_read <- t.counters.pages_read + 1;
+  completion
+
+let submit_block_read t ~first_pid ~count =
+  let completion = submit t ~first_pid ~count in
+  t.counters.pages_read <- t.counters.pages_read + count;
+  completion
+
+let submit_write t ~pid =
+  let completion = submit t ~first_pid:pid ~count:1 in
+  t.counters.pages_written <- t.counters.pages_written + 1;
+  completion
+
+let submit_batch_read t pids =
+  match List.sort Int.compare pids with
+  | [] -> busy_until t
+  | sorted ->
+      let start = Float.max t.free_at (Clock.now t.clock) in
+      let batch_seek = t.params.seek_us *. t.params.batch_seek_factor in
+      let service = ref 0.0 in
+      let prev_end = ref t.head_pos in
+      List.iter
+        (fun pid ->
+          let sequential = abs (pid - !prev_end) <= t.params.sequential_gap in
+          service := !service +. (if sequential then 0.0 else batch_seek) +. t.params.transfer_us;
+          if sequential then
+            t.counters.sequential_requests <- t.counters.sequential_requests + 1
+          else t.counters.seeks <- t.counters.seeks + 1;
+          prev_end := pid + 1)
+        sorted;
+      let completion = start +. !service in
+      t.free_at <- completion;
+      t.head_pos <- !prev_end;
+      t.counters.requests <- t.counters.requests + 1;
+      t.counters.pages_read <- t.counters.pages_read + List.length sorted;
+      completion
+
+let read_sync t ~pid = Clock.advance_to t.clock (submit_read t ~pid)
+
+let read_sequential_sync t ~first_pid ~count =
+  let completion = submit t ~first_pid ~count in
+  t.counters.pages_read <- t.counters.pages_read + count;
+  Clock.advance_to t.clock completion
+
+let drain t = Clock.advance_to t.clock t.free_at

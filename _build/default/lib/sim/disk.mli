@@ -1,0 +1,73 @@
+(** Discrete-event model of a single disk (or SSD) with a FIFO queue.
+
+    Service time for a request is a positioning cost ([seek_us], charged
+    unless the request starts where the previous one ended) plus a per-page
+    transfer cost.  Asynchronous submissions return their completion time on
+    the shared {!Clock.t}; the caller stalls by [Clock.advance_to] when it
+    actually needs the data.  This is exactly the structure the paper's
+    Appendix B cost model assumes: redo time ≈ pages fetched × effective IO
+    latency, with prefetching overlapping computation and IO. *)
+
+type params = {
+  seek_us : float;  (** positioning cost of a non-sequential access *)
+  transfer_us : float;  (** cost of moving one page *)
+  sequential_gap : int;
+      (** accesses within this many pids of the end of the previous request
+          are treated as sequential (no seek) *)
+  batch_seek_factor : float;
+      (** seek-cost multiplier for pages inside one sorted asynchronous
+          batch: with a deep queue the disk services requests in elevator
+          order, so per-request positioning is cheaper than a cold random
+          seek.  1.0 disables the effect. *)
+}
+
+val default_params : params
+(** 4 ms seek, 50 µs/page transfer, gap 1, batch factor 0.75 — a 2011-era
+    SATA disk, matching the paper's hardware generation. *)
+
+type counters = {
+  mutable requests : int;
+  mutable pages_read : int;
+  mutable pages_written : int;
+  mutable seeks : int;
+  mutable sequential_requests : int;
+}
+
+type t
+
+val create : ?params:params -> Clock.t -> t
+val params : t -> params
+val counters : t -> counters
+val reset_counters : t -> unit
+
+val busy_until : t -> float
+(** Time at which all queued requests will have completed. *)
+
+val read_sync : t -> pid:int -> unit
+(** Submit a one-page read and advance the clock to its completion. *)
+
+val submit_read : t -> pid:int -> float
+(** Queue a one-page read; returns its completion time without waiting. *)
+
+val submit_block_read : t -> first_pid:int -> count:int -> float
+(** Queue a read of [count] contiguous pages as a single request (the
+    paper's 8-page block read-ahead); returns its completion time. *)
+
+val submit_batch_read : t -> int list -> float
+(** Queue one asynchronous batch of (not necessarily contiguous) page
+    reads.  The batch is served in sorted order: contiguous neighbours pay
+    transfer only; jumps pay [batch_seek_factor × seek_us].  Returns the
+    completion time of the whole batch. *)
+
+val submit_write : t -> pid:int -> float
+(** Queue a one-page write (used by cache flushes); returns completion
+    time.  Flushes are fire-and-forget for timing purposes but still occupy
+    the disk, delaying reads that queue behind them. *)
+
+val read_sequential_sync : t -> first_pid:int -> count:int -> unit
+(** Synchronously read [count] contiguous pages (log scan IO) and advance
+    the clock to completion. *)
+
+val drain : t -> unit
+(** Advance the clock until the disk is idle (checkpoint completion, end of
+    a recovery pass). *)

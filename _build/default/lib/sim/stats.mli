@@ -1,0 +1,16 @@
+(** Running statistics (Welford) for experiment reporting: the paper calls
+    out the high run-to-run variance of the prefetching methods (Log2, SQL2),
+    so the benches report mean ± stddev over repeated runs. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val summary : t -> string
+(** ["mean ± stddev (min … max, n)"] with sensible formatting. *)

@@ -1,0 +1,75 @@
+(** Fixed-size binary database pages.
+
+    Every page carries a 24-byte header: a kind tag, a checksum, and two
+    page LSNs.  [plsn] is the TC-domain pLSN — the LSN of the last logged
+    {e transactional} operation applied to the page, the heart of the redo
+    idempotence test in every recovery method the paper compares (redo an
+    operation iff its LSN > pLSN of the target page).  [dc_plsn] is the
+    DC-domain pLSN — the LSN of the last structure-modification record
+    applied, used by the DC's own (SMO) redo.  When the TC and DC share one
+    log (the paper's prototype, §5.1) the two domains coincide; with a
+    separate DC log (the Deuteronomy architecture proper, §4) they are
+    independent LSN spaces and must not be compared with each other.
+
+    The rest of the page is a raw byte payload; typed layouts (B-tree nodes,
+    the catalog) are built on the accessors here.  All multi-byte integers
+    are big-endian. *)
+
+type kind = Free | Meta | Btree_leaf | Btree_internal
+
+val kind_to_string : kind -> string
+
+type t = { pid : int; buf : Bytes.t }
+
+val header_size : int
+(** Bytes reserved at the start of every page: kind tag, checksum, and the
+    two pLSNs (24 bytes). *)
+
+val create : page_size:int -> pid:int -> kind -> t
+(** A zeroed page of the given kind with pLSN 0. *)
+
+val copy : t -> t
+val size : t -> int
+
+val kind : t -> kind
+val set_kind : t -> kind -> unit
+
+val plsn : t -> int
+val set_plsn : t -> int -> unit
+
+val dc_plsn : t -> int
+val set_dc_plsn : t -> int -> unit
+
+(** {2 Checksums}
+
+    Bytes 4–7 of the header hold a checksum over the rest of the page,
+    stamped at flush time and verified on read from stable storage —
+    torn/corrupt stable pages are detected, not silently recovered from. *)
+
+val stamp_checksum : t -> unit
+val checksum_ok : t -> bool
+(** [true] if the stored checksum matches the contents, or if the page was
+    never stamped (all-zero checksum on a zero page). *)
+
+(** {2 Raw accessors for payload layouts}
+
+    Offsets are absolute within the page; layouts above the header must
+    respect [header_size]. *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+val get_u32 : t -> int -> int
+val set_u32 : t -> int -> int -> unit
+val get_u64 : t -> int -> int
+val set_u64 : t -> int -> int -> unit
+
+val get_bytes : t -> off:int -> len:int -> string
+val set_bytes : t -> off:int -> string -> unit
+
+val blit_within : t -> src:int -> dst:int -> len:int -> unit
+val zero_range : t -> off:int -> len:int -> unit
+
+val equal_contents : t -> t -> bool
+(** Byte equality of the full page images (pids may differ). *)

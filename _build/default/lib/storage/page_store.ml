@@ -1,0 +1,76 @@
+exception Missing_page of int
+exception Corrupt_page of int
+
+type t = {
+  page_size : int;
+  mutable images : Bytes.t option array;  (* indexed by pid *)
+  mutable next_pid : int;
+}
+
+let create ~page_size = { page_size; images = Array.make 1024 None; next_pid = 0 }
+let page_size t = t.page_size
+
+let ensure_capacity t pid =
+  let n = Array.length t.images in
+  if pid >= n then begin
+    let grown = Array.make (Stdlib.max (pid + 1) (2 * n)) None in
+    Array.blit t.images 0 grown 0 n;
+    t.images <- grown
+  end
+
+let allocate t _kind =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  ensure_capacity t pid;
+  pid
+
+let allocated_count t = t.next_pid
+
+let stable_count t =
+  let n = ref 0 in
+  Array.iter (function Some _ -> incr n | None -> ()) t.images;
+  !n
+
+let exists t pid = pid >= 0 && pid < t.next_pid && t.images.(pid) <> None
+
+let read t pid =
+  if pid < 0 || pid >= t.next_pid then raise (Missing_page pid);
+  match t.images.(pid) with
+  | None -> raise (Missing_page pid)
+  | Some buf ->
+      let page = { Page.pid; buf = Bytes.copy buf } in
+      if not (Page.checksum_ok page) then raise (Corrupt_page pid);
+      page
+
+let write t (page : Page.t) =
+  if Bytes.length page.buf <> t.page_size then invalid_arg "Page_store.write: size mismatch";
+  ensure_capacity t page.pid;
+  if page.pid >= t.next_pid then t.next_pid <- page.pid + 1;
+  let copy = { Page.pid = page.pid; buf = Bytes.copy page.buf } in
+  Page.stamp_checksum copy;
+  t.images.(page.pid) <- Some copy.Page.buf
+
+let corrupt_for_test t pid =
+  match t.images.(pid) with
+  | Some buf ->
+      let i = Page.header_size + 1 in
+      Bytes.set buf i (Char.chr (Char.code (Bytes.get buf i) lxor 0xFF))
+  | None -> raise (Missing_page pid)
+
+let clone t =
+  {
+    page_size = t.page_size;
+    images = Array.map (Option.map Bytes.copy) t.images;
+    next_pid = t.next_pid;
+  }
+
+let iter_stable t f =
+  for pid = 0 to t.next_pid - 1 do
+    match t.images.(pid) with
+    | Some buf -> f { Page.pid; buf }
+    | None -> ()
+  done
+
+let note_allocated t pid =
+  ensure_capacity t pid;
+  if pid >= t.next_pid then t.next_pid <- pid + 1

@@ -1,0 +1,1 @@
+lib/wal/log_manager.ml: Bytes Char Deut_sim Int32 Log_record Lsn Printf Stdlib String

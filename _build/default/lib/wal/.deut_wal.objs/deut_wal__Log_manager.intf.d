@@ -1,0 +1,1 @@
+lib/wal/log_manager.mli: Deut_sim Log_record Lsn

@@ -1,0 +1,81 @@
+exception Truncated of string
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 128
+let contents = Buffer.contents
+let w_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+let w_u16 b v = Buffer.add_uint16_be b v
+let w_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+let w_i64 b v = Buffer.add_int64_be b (Int64.of_int v)
+let w_bool b v = w_u8 b (if v then 1 else 0)
+
+let w_string b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_opt_string b = function
+  | None -> w_u8 b 0
+  | Some s ->
+      w_u8 b 1;
+      w_string b s
+
+let w_u32_array b a =
+  w_u32 b (Array.length a);
+  Array.iter (w_u32 b) a
+
+let w_i64_array b a =
+  w_u32 b (Array.length a);
+  Array.iter (w_i64 b) a
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+let reader_pos r = r.pos
+let at_end r = r.pos >= String.length r.data
+
+let need r n what =
+  if r.pos + n > String.length r.data then raise (Truncated what)
+
+let r_u8 r =
+  need r 1 "u8";
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_u16 r =
+  need r 2 "u16";
+  let v = String.get_uint16_be r.data r.pos in
+  r.pos <- r.pos + 2;
+  v
+
+let r_u32 r =
+  need r 4 "u32";
+  let v = Int32.to_int (String.get_int32_be r.data r.pos) land 0xffffffff in
+  r.pos <- r.pos + 4;
+  v
+
+let r_i64 r =
+  need r 8 "i64";
+  let v = Int64.to_int (String.get_int64_be r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_bool r = r_u8 r <> 0
+
+let r_string r =
+  let len = r_u32 r in
+  need r len "string";
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let r_opt_string r = match r_u8 r with 0 -> None | _ -> Some (r_string r)
+
+let r_u32_array r =
+  let n = r_u32 r in
+  Array.init n (fun _ -> r_u32 r)
+
+let r_i64_array r =
+  let n = r_u32 r in
+  Array.init n (fun _ -> r_i64 r)

@@ -1,0 +1,166 @@
+exception Corrupt_record of int
+
+(* FNV-1a over the payload. *)
+let checksum_sub buf off len =
+  let h = ref 0x811C9DC5 in
+  for i = off to off + len - 1 do
+    h := (!h lxor Char.code (Bytes.get buf i)) * 0x01000193 land 0xFFFFFFFF
+  done;
+  !h
+
+let frame_header = 8
+
+type t = {
+  page_size : int;
+  mutable base : int;  (* absolute offset of data.(0): bytes before it were archived *)
+  mutable data : Bytes.t;
+  mutable len : int;  (* absolute end offset *)
+  mutable stable : int;  (* absolute: bytes in [base, stable) are durable *)
+  mutable records : int;
+  mutable forces : int;
+  mutable read_disk : Deut_sim.Disk.t option;
+}
+
+let create ~page_size =
+  if page_size <= 0 then invalid_arg "Log_manager.create: page_size must be positive";
+  {
+    page_size;
+    base = 0;
+    data = Bytes.create 65536;
+    len = 0;
+    stable = 0;
+    records = 0;
+    forces = 0;
+    read_disk = None;
+  }
+
+let page_size t = t.page_size
+let end_lsn t = t.len
+let stable_lsn t = t.stable
+let base_lsn t = t.base
+let record_count t = t.records
+let force_count t = t.forces
+
+let ensure_capacity t extra =
+  let needed = t.len - t.base + extra in
+  if needed > Bytes.length t.data then begin
+    let grown = Bytes.create (Stdlib.max needed (2 * Bytes.length t.data)) in
+    Bytes.blit t.data 0 grown 0 (t.len - t.base);
+    t.data <- grown
+  end
+
+let append t record =
+  let payload = Log_record.encode record in
+  let payload_len = String.length payload in
+  let frame = frame_header + payload_len in
+  ensure_capacity t frame;
+  let lsn = t.len in
+  let off = lsn - t.base in
+  Bytes.set_int32_be t.data off (Int32.of_int payload_len);
+  Bytes.blit_string payload 0 t.data (off + frame_header) payload_len;
+  let crc = checksum_sub t.data (off + frame_header) payload_len in
+  Bytes.set_int32_be t.data (off + 4) (Int32.of_int crc);
+  t.len <- t.len + frame;
+  t.records <- t.records + 1;
+  lsn
+
+let force t =
+  if t.len > t.stable then begin
+    t.stable <- t.len;
+    t.forces <- t.forces + 1
+  end
+
+let force_upto t lsn =
+  if lsn >= t.stable then begin
+    (* Stabilise through the end of the record starting at [lsn]. *)
+    if lsn >= t.len then force t
+    else begin
+      let payload_len = Int32.to_int (Bytes.get_int32_be t.data (lsn - t.base)) in
+      t.stable <- Stdlib.max t.stable (lsn + frame_header + payload_len);
+      t.forces <- t.forces + 1
+    end
+  end
+
+let read_at t lsn =
+  if lsn < t.base || lsn + frame_header > t.len then
+    invalid_arg (Printf.sprintf "Log_manager.read_at: offset %d out of range [%d,%d)" lsn t.base t.len);
+  let off = lsn - t.base in
+  let payload_len = Int32.to_int (Bytes.get_int32_be t.data off) in
+  let next = lsn + frame_header + payload_len in
+  if next > t.len then invalid_arg "Log_manager.read_at: truncated frame";
+  let stored = Int32.to_int (Bytes.get_int32_be t.data (off + 4)) land 0xFFFFFFFF in
+  if stored <> checksum_sub t.data (off + frame_header) payload_len then
+    raise (Corrupt_record lsn);
+  let payload = Bytes.sub_string t.data (off + frame_header) payload_len in
+  (Log_record.decode payload, next)
+
+let corrupt_for_test t lsn =
+  let off = lsn - t.base + frame_header in
+  Bytes.set t.data off (Char.chr (Char.code (Bytes.get t.data off) lxor 0xFF))
+
+let attach_read_disk t disk = t.read_disk <- Some disk
+let detach_read_disk t = t.read_disk <- None
+
+(* Log pids live in their own namespace on the dedicated log disk, so plain
+   page indexes give correct sequential-run detection. *)
+let charge_page t page_index =
+  match t.read_disk with
+  | None -> ()
+  | Some disk -> Deut_sim.Disk.read_sequential_sync disk ~first_pid:page_index ~count:1
+
+let iter t ~from ?upto f =
+  let upto = match upto with Some u -> Stdlib.min u t.len | None -> t.stable in
+  let start = if Lsn.is_nil from then t.base else from in
+  if start < t.base then
+    invalid_arg
+      (Printf.sprintf "Log_manager.iter: scan start %d precedes archived boundary %d" start t.base);
+  let last_page = ref (-1) in
+  let rec loop lsn =
+    if lsn < upto then begin
+      let page = lsn / t.page_size in
+      if page <> !last_page then begin
+        (* Charge every log page from the last one read through this one so
+           large records spanning pages are accounted in full. *)
+        let first = if !last_page < 0 then page else !last_page + 1 in
+        for p = first to page do
+          charge_page t p
+        done;
+        last_page := page
+      end;
+      let record, next = read_at t lsn in
+      f lsn record;
+      loop next
+    end
+  in
+  loop start
+
+let fold t ~from ?upto ~init f =
+  let acc = ref init in
+  iter t ~from ?upto (fun lsn record -> acc := f !acc lsn record);
+  !acc
+
+let crash t =
+  {
+    page_size = t.page_size;
+    base = t.base;
+    data = Bytes.sub t.data 0 (t.stable - t.base);
+    len = t.stable;
+    stable = t.stable;
+    records = 0;
+    forces = 0;
+    read_disk = None;
+  }
+
+let compact t ~keep_from =
+  if keep_from > t.stable then
+    invalid_arg "Log_manager.compact: cannot archive past the stable prefix";
+  if keep_from > t.base then begin
+    let retained = t.len - keep_from in
+    let fresh = Bytes.create (Stdlib.max retained 65536) in
+    Bytes.blit t.data (keep_from - t.base) fresh 0 retained;
+    t.data <- fresh;
+    t.base <- keep_from
+  end
+
+let pages_between t lo hi =
+  if hi <= lo then 0 else ((hi - 1) / t.page_size) - (lo / t.page_size) + 1

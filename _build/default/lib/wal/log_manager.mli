@@ -1,0 +1,78 @@
+(** Append-only write-ahead log with an explicit stable prefix.
+
+    Records are framed as [u32 length][u32 checksum][payload]; a record's
+    LSN is the byte offset of its frame, and the checksum (validated on
+    every read) turns torn or corrupted records into loud
+    {!Corrupt_record} failures instead of silent wrong recovery.  Bytes in
+    [0, stable_lsn) are durable; the tail beyond is volatile and vanishes
+    at a crash.  Commits force the log; flushing a data page forces the
+    log up to that page's pLSN first (the WAL rule, enforced by the buffer
+    pool).
+
+    When a read disk is attached, scans charge one sequential log-page read
+    per log page crossed — the "log pages" term in the paper's Appendix B
+    cost model.  Normal-operation bookkeeping scans run without a disk and
+    cost nothing. *)
+
+type t
+
+val create : page_size:int -> t
+val page_size : t -> int
+
+val append : t -> Log_record.t -> Lsn.t
+(** Append to the volatile tail; returns the record's LSN. *)
+
+val end_lsn : t -> Lsn.t
+(** Offset just past the last appended byte (the next record's LSN). *)
+
+val stable_lsn : t -> Lsn.t
+
+val force : t -> unit
+(** Make everything appended so far stable. *)
+
+val force_upto : t -> Lsn.t -> unit
+(** Make at least the record at the given LSN (inclusive) stable. *)
+
+val record_count : t -> int
+val force_count : t -> int
+
+exception Corrupt_record of Lsn.t
+(** A frame failed its checksum. *)
+
+val read_at : t -> Lsn.t -> Log_record.t * Lsn.t
+(** [read_at t lsn] decodes the record at [lsn] and returns it with the LSN
+    of the following record.  Raises [Invalid_argument] on a bad offset and
+    {!Corrupt_record} on checksum failure. *)
+
+val corrupt_for_test : t -> Lsn.t -> unit
+(** Flip a byte of the record's payload (fault injection for tests). *)
+
+val attach_read_disk : t -> Deut_sim.Disk.t -> unit
+(** Charge subsequent scans' page crossings to this disk. *)
+
+val detach_read_disk : t -> unit
+
+val iter : t -> from:Lsn.t -> ?upto:Lsn.t -> (Lsn.t -> Log_record.t -> unit) -> unit
+(** [iter t ~from ?upto f] decodes records in order, calling [f lsn record].
+    [upto] (exclusive) defaults to the stable end — recovery never sees the
+    lost tail.  [from] = [Lsn.nil] starts at the beginning. *)
+
+val fold : t -> from:Lsn.t -> ?upto:Lsn.t -> init:'a -> ('a -> Lsn.t -> Log_record.t -> 'a) -> 'a
+
+val crash : t -> t
+(** The log as a recovering system sees it: a deep copy truncated to the
+    stable prefix, with no disk attached. *)
+
+val base_lsn : t -> Lsn.t
+(** Offset of the oldest retained byte; earlier bytes were archived by
+    [compact]. *)
+
+val compact : t -> keep_from:Lsn.t -> unit
+(** Archive (drop) log bytes before [keep_from] — which must be a record
+    boundary at or before the stable point, and at or before any LSN
+    recovery could scan from (the caller passes the last completed
+    checkpoint).  LSNs are unaffected; reading archived offsets raises. *)
+
+val pages_between : t -> Lsn.t -> Lsn.t -> int
+(** Number of log pages spanned by the byte range — the log-read IO a scan
+    of that range performs. *)

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Deut_buffer Deut_core Deut_sim Deut_wal List Option Oracle Printf Stdlib String Workload

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Deut_core Oracle Workload

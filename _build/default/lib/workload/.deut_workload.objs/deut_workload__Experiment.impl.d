@@ -1,0 +1,1 @@
+lib/workload/experiment.ml: Deut_buffer Deut_core Driver List Printf Stdlib Workload

@@ -1,0 +1,1 @@
+lib/workload/experiment.mli: Deut_core Driver Workload

@@ -1,0 +1,1 @@
+lib/workload/figures.ml: Buffer Deut_core Deut_wal Experiment List Printf Report String

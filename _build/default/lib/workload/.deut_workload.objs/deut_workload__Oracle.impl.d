@@ -1,0 +1,1 @@
+lib/workload/oracle.ml: Deut_core Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/workload/report.ml: List Printf Stdlib String

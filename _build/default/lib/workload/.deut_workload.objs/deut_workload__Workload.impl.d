@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Bytes Deut_sim String

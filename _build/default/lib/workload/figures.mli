@@ -1,0 +1,94 @@
+(** Runners and renderers for every table and figure in the paper's
+    evaluation (§5.3, Appendices B, C, D).
+
+    Each [run_*] performs the workload + crash + side-by-side recoveries
+    (verifying every recovery against the oracle) and returns structured
+    results; each renderer prints a paper-shaped text table.  Used by both
+    [bench/main.exe] and the CLI. *)
+
+(** One cache-size cell of the Figure 2 experiment. *)
+type fig2_cell = {
+  cache_mb : int;  (** paper-equivalent cache size *)
+  pool_pages : int;
+  db_pages : int;
+  dirty_pct : float;  (** Figure 2(b): dirty % of the cache at crash *)
+  deltas_seen : int;  (** Figure 2(c): Δ records seen by analysis *)
+  bws_seen : int;  (** Figure 2(c): BW records seen by analysis *)
+  methods : (Deut_core.Recovery.method_ * Deut_core.Recovery_stats.t) list;
+}
+
+val run_fig2 :
+  ?scale:int ->
+  ?cache_sizes:int list ->
+  ?methods:Deut_core.Recovery.method_ list ->
+  ?progress:(string -> unit) ->
+  unit ->
+  fig2_cell list
+(** Defaults: scale 64, the paper's cache sizes 64…2048 MB, the paper's
+    five methods. *)
+
+val fig2a : fig2_cell list -> string
+(** Figure 2(a): redo time (simulated ms) per method per cache size. *)
+
+val fig2b : fig2_cell list -> string
+val fig2c : fig2_cell list -> string
+
+val sec53 : fig2_cell list -> string
+(** §5.3's headline claims, paper value vs measured. *)
+
+val costmodel : fig2_cell list -> string
+(** Appendix B equations (1)–(3): predicted vs measured page fetches. *)
+
+(** One checkpoint-interval cell of the Figure 3 experiment. *)
+type fig3_cell = {
+  multiplier : int;
+  methods3 : (Deut_core.Recovery.method_ * Deut_core.Recovery_stats.t) list;
+}
+
+val run_fig3 :
+  ?scale:int ->
+  ?cache_mb:int ->
+  ?multipliers:int list ->
+  ?progress:(string -> unit) ->
+  unit ->
+  fig3_cell list
+(** Appendix C: checkpoint interval ci1, 5×ci1, 10×ci1 at the 512 MB
+    cache. *)
+
+val fig3 : fig3_cell list -> string
+
+(** One Appendix-D ablation row. *)
+type appd_row = {
+  label : string;
+  dpt_size : int;
+  redo_ms : float;
+  data_fetches : int;
+  delta_records : int;
+  delta_kb : float;  (** DC logging overhead during normal execution *)
+}
+
+val run_appd : ?scale:int -> ?cache_mb:int -> ?progress:(string -> unit) -> unit -> appd_row list
+(** The DC-logging spectrum of Appendix D — Standard, Perfect (D.1),
+    Reduced (D.2), all recovered with Log1 — plus classic ARIES
+    checkpointing recovered physiologically, as ablation baselines. *)
+
+val appd : appd_row list -> string
+
+(** One row of the split-vs-integrated log-layout comparison (§4.2). *)
+type split_row = {
+  layout : string;
+  smethod : Deut_core.Recovery.method_;
+  s_analysis_ms : float;
+  s_redo_ms : float;
+  s_log_pages : int;  (** log pages read across both log devices *)
+  tc_log_kb : float;  (** retained TC-log bytes at crash *)
+  dc_log_kb : float;  (** retained DC-log bytes at crash (= TC when integrated) *)
+}
+
+val run_split :
+  ?scale:int -> ?cache_mb:int -> ?progress:(string -> unit) -> unit -> split_row list
+(** The Deuteronomy architecture proper vs the paper's integrated
+    prototype: same workload, Log1/Log2 recovery from each layout.  Shows
+    §4.2's claim that the DC redo/analysis pass scans a much smaller log. *)
+
+val split_table : split_row list -> string

@@ -1,0 +1,69 @@
+type change = Put of string | Remove
+
+type t = {
+  committed : (int * int, string) Hashtbl.t;  (* (table, key) -> value *)
+  pending : (int, ((int * int) * change) list ref) Hashtbl.t;  (* txn -> buffered writes *)
+}
+
+let create () = { committed = Hashtbl.create 4096; pending = Hashtbl.create 16 }
+let begin_txn t txn = Hashtbl.replace t.pending txn (ref [])
+
+let buffer t ~txn entry =
+  match Hashtbl.find_opt t.pending txn with
+  | Some changes -> changes := entry :: !changes
+  | None -> invalid_arg "Oracle: transaction not begun"
+
+let buffer_put t ~txn ~table ~key ~value = buffer t ~txn ((table, key), Put value)
+let buffer_delete t ~txn ~table ~key = buffer t ~txn ((table, key), Remove)
+
+let commit t ~txn =
+  match Hashtbl.find_opt t.pending txn with
+  | None -> invalid_arg "Oracle.commit: transaction not begun"
+  | Some changes ->
+      List.iter
+        (fun (addr, change) ->
+          match change with
+          | Put v -> Hashtbl.replace t.committed addr v
+          | Remove -> Hashtbl.remove t.committed addr)
+        (List.rev !changes);
+      Hashtbl.remove t.pending txn
+
+let abort t ~txn = Hashtbl.remove t.pending txn
+
+let committed_value t ~table ~key = Hashtbl.find_opt t.committed (table, key)
+
+let committed_entries t ~table =
+  Hashtbl.fold (fun (tbl, key) v acc -> if tbl = table then (key, v) :: acc else acc) t.committed []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let entry_count t ~table =
+  Hashtbl.fold (fun (tbl, _) _ n -> if tbl = table then n + 1 else n) t.committed 0
+
+let verify t db ~tables =
+  let check_table table =
+    let expected = committed_entries t ~table in
+    let actual = Deut_core.Db.dump_table db ~table in
+    if expected = actual then Ok ()
+    else begin
+      let n_exp = List.length expected and n_act = List.length actual in
+      if n_exp <> n_act then
+        Error (Printf.sprintf "table %d: %d entries recovered, %d committed" table n_act n_exp)
+      else begin
+        let diff =
+          List.find_opt (fun ((k1, v1), (k2, v2)) -> k1 <> k2 || v1 <> v2)
+            (List.combine actual expected)
+        in
+        match diff with
+        | Some ((k1, v1), (k2, v2)) ->
+            Error
+              (Printf.sprintf "table %d: recovered (%d,%S) but committed (%d,%S)" table k1 v1 k2
+                 v2)
+        | None -> Ok ()
+      end
+    end
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | table :: rest -> ( match check_table table with Ok () -> go rest | Error _ as e -> e)
+  in
+  go tables

@@ -1,0 +1,28 @@
+(** Shadow committed state: the ground truth recovery must reproduce.
+
+    The driver buffers each transaction's writes and folds them in at
+    commit, so the oracle always holds exactly the committed state — never
+    the effects of in-flight or aborted transactions.  Crucially it is a
+    plain map: consulting it does not touch the database cache, unlike a
+    table scan, which would flush dirty pages and corrupt the experiment
+    (dirtiness at crash is the quantity under study). *)
+
+type t
+
+val create : unit -> t
+
+val begin_txn : t -> int -> unit
+val buffer_put : t -> txn:int -> table:int -> key:int -> value:string -> unit
+val buffer_delete : t -> txn:int -> table:int -> key:int -> unit
+val commit : t -> txn:int -> unit
+val abort : t -> txn:int -> unit
+
+val committed_value : t -> table:int -> key:int -> string option
+val committed_entries : t -> table:int -> (int * string) list
+(** Sorted by key. *)
+
+val entry_count : t -> table:int -> int
+
+val verify : t -> Deut_core.Db.t -> tables:int list -> (unit, string) result
+(** Compare the database contents (a full scan — post-recovery use only)
+    against the committed state of every listed table. *)

@@ -1,0 +1,13 @@
+(** Fixed-width text tables and CSV for the benchmark output. *)
+
+val table : ?title:string -> header:string list -> rows:string list list -> unit -> string
+(** Render an aligned table with a separator under the header. *)
+
+val csv : header:string list -> rows:string list list -> string
+
+val ms : float -> string
+(** Milliseconds with one decimal. *)
+
+val pct : float -> string
+val f1 : float -> string
+val i : int -> string

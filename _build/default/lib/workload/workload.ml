@@ -1,0 +1,35 @@
+type key_dist = Uniform | Zipf of float | Sequential
+
+type op_mix =
+  | Update_only
+  | Mixed of { update : float; insert : float; delete : float; read : float }
+
+type spec = {
+  tables : int;
+  rows : int;
+  value_size : int;
+  ops_per_txn : int;
+  key_dist : key_dist;
+  op_mix : op_mix;
+  seed : int;
+}
+
+let default =
+  {
+    tables = 1;
+    rows = 100_000;
+    value_size = 24;
+    ops_per_txn = 10;
+    key_dist = Uniform;
+    op_mix = Update_only;
+    seed = 1;
+  }
+
+let hex = "0123456789abcdef"
+
+let value_of rng ~size =
+  let b = Bytes.create size in
+  for i = 0 to size - 1 do
+    Bytes.set b i hex.[Deut_sim.Rng.int rng 16]
+  done;
+  Bytes.unsafe_to_string b

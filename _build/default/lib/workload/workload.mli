@@ -1,0 +1,32 @@
+(** Workload specifications.
+
+    The paper's primary workload (§5.2) is update-only: small transactions
+    of 10 updates each, on a single table, keys drawn uniformly — the worst
+    case for redo recovery because it maximises the number of distinct
+    dirty pages (Appendix B).  Zipfian skew and mixed operation workloads
+    are provided for the locality experiments and tests. *)
+
+type key_dist = Uniform | Zipf of float | Sequential
+
+(** Operation mix as weights; a transaction draws each operation
+    independently.  [Update_only] is the paper's workload. *)
+type op_mix =
+  | Update_only
+  | Mixed of { update : float; insert : float; delete : float; read : float }
+
+type spec = {
+  tables : int;  (** number of tables (ids 1..tables) *)
+  rows : int;  (** initial rows per table *)
+  value_size : int;  (** bytes in the data attribute *)
+  ops_per_txn : int;
+  key_dist : key_dist;
+  op_mix : op_mix;
+  seed : int;
+}
+
+val default : spec
+(** The paper's workload at a small default size: 1 table, 100k rows,
+    24-byte values, 10 uniform updates per transaction. *)
+
+val value_of : Deut_sim.Rng.t -> size:int -> string
+(** A fresh random value of exactly [size] bytes. *)

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_btree Test_cursor Test_dpt Test_engine Test_locks Test_monitor Test_node Test_pool Test_recovery Test_sim Test_split_log Test_storage Test_wal Test_workload

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Deut_btree Deut_buffer Deut_sim Deut_storage Deut_wal Int List Map Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cursor.ml: Alcotest Deut_btree Deut_buffer Deut_core Deut_sim Deut_storage Deut_wal List Printf QCheck2 QCheck_alcotest String

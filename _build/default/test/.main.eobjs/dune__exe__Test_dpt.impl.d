@@ -1,0 +1,1 @@
+test/test_dpt.ml: Alcotest Array Deut_core Deut_wal List

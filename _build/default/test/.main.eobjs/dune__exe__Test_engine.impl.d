@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Deut_buffer Deut_core Deut_sim Deut_storage Deut_wal Printf String

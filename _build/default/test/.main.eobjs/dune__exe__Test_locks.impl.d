@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Deut_core Deut_wal Printf

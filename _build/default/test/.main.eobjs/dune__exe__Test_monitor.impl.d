@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Array Deut_core Deut_wal List

@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Char Deut_btree Deut_storage Int List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Deut_buffer Deut_sim Deut_storage Deut_wal List

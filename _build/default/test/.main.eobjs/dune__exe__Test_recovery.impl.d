@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Deut_core Deut_sim Deut_storage Deut_wal Deut_workload Hashtbl List Printf QCheck2 QCheck_alcotest

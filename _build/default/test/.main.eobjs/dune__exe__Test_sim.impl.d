@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Deut_sim Fun List String

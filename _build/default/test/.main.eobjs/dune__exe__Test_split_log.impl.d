@@ -1,0 +1,1 @@
+test/test_split_log.ml: Alcotest Deut_core Deut_wal Deut_workload List Option Printf

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Array Deut_sim Deut_wal List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Deut_core Deut_sim Deut_workload List String

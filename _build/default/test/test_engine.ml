@@ -1,0 +1,273 @@
+(* Normal-execution engine behaviour: transactions, aborts, WAL and
+   checkpoint invariants, log archiving. *)
+
+module Db = Deut_core.Db
+module Config = Deut_core.Config
+module Engine = Deut_core.Engine
+module Tc = Deut_core.Tc
+module Lr = Deut_wal.Log_record
+module Lsn = Deut_wal.Lsn
+module Log = Deut_wal.Log_manager
+module Page = Deut_storage.Page
+module Page_store = Deut_storage.Page_store
+module Pool = Deut_buffer.Buffer_pool
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let config = { Config.default with Config.page_size = 1024; pool_pages = 48; delta_period = 50 }
+
+let make () =
+  let db = Db.create ~config () in
+  Db.create_table db ~table:1;
+  db
+
+let ok = function Ok () -> () | Error e -> Alcotest.fail e
+
+let test_read_your_writes () =
+  let db = make () in
+  let txn = Db.begin_txn db in
+  ok (Db.insert db txn ~table:1 ~key:1 ~value:"a");
+  (* No isolation layer (locking is out of scope, paper [13]): reads see
+     applied operations immediately. *)
+  check "uncommitted write visible to reads" true (Db.read db ~table:1 ~key:1 = Some "a");
+  Db.commit db txn;
+  check "still visible after commit" true (Db.read db ~table:1 ~key:1 = Some "a")
+
+let test_error_paths () =
+  let db = make () in
+  let txn = Db.begin_txn db in
+  ok (Db.insert db txn ~table:1 ~key:1 ~value:"a");
+  check "duplicate insert rejected" true (Db.insert db txn ~table:1 ~key:1 ~value:"b" = Error "duplicate key");
+  check "update of absent key rejected" true
+    (Db.update db txn ~table:1 ~key:2 ~value:"b" = Error "missing key");
+  check "delete of absent key rejected" true (Db.delete db txn ~table:1 ~key:2 = Error "missing key");
+  Db.commit db txn
+
+let test_abort_rolls_back () =
+  let db = make () in
+  let txn = Db.begin_txn db in
+  ok (Db.insert db txn ~table:1 ~key:10 ~value:"committed");
+  Db.commit db txn;
+  let txn = Db.begin_txn db in
+  ok (Db.update db txn ~table:1 ~key:10 ~value:"doomed");
+  ok (Db.insert db txn ~table:1 ~key:11 ~value:"doomed-too");
+  ok (Db.delete db txn ~table:1 ~key:10);
+  Db.abort db txn;
+  check "update+delete rolled back" true (Db.read db ~table:1 ~key:10 = Some "committed");
+  check "insert rolled back" true (Db.read db ~table:1 ~key:11 = None);
+  (match Db.check_integrity db with Ok () -> () | Error e -> Alcotest.fail e);
+  (* The abort wrote CLRs and an abort record; a crash now must preserve
+     exactly the committed state. *)
+  let image = Db.crash db in
+  let recovered, stats = Db.recover image Deut_core.Recovery.Log1 in
+  check "state preserved across crash after abort" true
+    (Db.read recovered ~table:1 ~key:10 = Some "committed");
+  check_int "no losers after a clean abort" 0 stats.Deut_core.Recovery_stats.losers
+
+let test_interleaved_txns () =
+  let db = make () in
+  let t1 = Db.begin_txn db in
+  let t2 = Db.begin_txn db in
+  ok (Db.insert db t1 ~table:1 ~key:1 ~value:"t1");
+  ok (Db.insert db t2 ~table:1 ~key:2 ~value:"t2");
+  ok (Db.update db t1 ~table:1 ~key:1 ~value:"t1'");
+  Db.commit db t2;
+  Db.abort db t1;
+  check "t2 committed" true (Db.read db ~table:1 ~key:2 = Some "t2");
+  check "t1 aborted through interleaving" true (Db.read db ~table:1 ~key:1 = None)
+
+let test_put_upsert () =
+  let db = make () in
+  Db.put db ~table:1 ~key:7 ~value:"first";
+  Db.put db ~table:1 ~key:7 ~value:"second";
+  check "upsert" true (Db.read db ~table:1 ~key:7 = Some "second")
+
+(* The WAL invariant: no stable page image may carry a pLSN beyond the
+   stable log. *)
+let wal_invariant db =
+  let engine = Db.engine db in
+  let stable = Log.stable_lsn engine.Engine.log in
+  Page_store.iter_stable engine.Engine.store (fun page ->
+      if Page.plsn page > stable then
+        Alcotest.failf "WAL violation: page %d stable with pLSN %d > stable log %d"
+          page.Page.pid (Page.plsn page) stable)
+
+let test_wal_invariant_under_churn () =
+  let db = make () in
+  let rng = Deut_sim.Rng.create ~seed:8 in
+  for k = 0 to 999 do
+    Db.put db ~table:1 ~key:k ~value:(string_of_int k)
+  done;
+  wal_invariant db;
+  for _ = 1 to 100 do
+    let txn = Db.begin_txn db in
+    for _ = 1 to 10 do
+      ok (Db.update db txn ~table:1 ~key:(Deut_sim.Rng.int rng 1000) ~value:"churn")
+    done;
+    Db.commit db txn
+  done;
+  wal_invariant db;
+  Db.checkpoint db;
+  wal_invariant db
+
+let test_penultimate_checkpoint_cleans () =
+  let db = make () in
+  for k = 0 to 500 do
+    Db.put db ~table:1 ~key:k ~value:"x"
+  done;
+  check "dirty before checkpoint" true (Db.dirty_page_count db > 0);
+  Db.checkpoint db;
+  (* Synchronous penultimate checkpoint: everything dirtied before the
+     begin-checkpoint record is flushed; nothing was dirtied after. *)
+  check_int "clean after checkpoint" 0 (Db.dirty_page_count db);
+  wal_invariant db
+
+let test_log_archiving_safe () =
+  let db = make () in
+  for k = 0 to 300 do
+    Db.put db ~table:1 ~key:k ~value:"v"
+  done;
+  Db.checkpoint db;
+  Db.compact_log db;
+  let engine = Db.engine db in
+  check "archived up to the master" true
+    (Log.base_lsn engine.Engine.log = Tc.master engine.Engine.tc);
+  (* Recovery still works from the archived log. *)
+  for k = 0 to 50 do
+    Db.put db ~table:1 ~key:k ~value:"v2"
+  done;
+  let image = Db.crash db in
+  let recovered, _ = Db.recover image Deut_core.Recovery.Sql1 in
+  check "post-archive recovery" true (Db.read recovered ~table:1 ~key:3 = Some "v2");
+  (* An open transaction blocks archiving past its first record. *)
+  let txn = Db.begin_txn db in
+  ignore txn
+
+let test_archiving_blocked_by_open_txn () =
+  let db = make () in
+  for k = 0 to 100 do
+    Db.put db ~table:1 ~key:k ~value:"v"
+  done;
+  let txn = Db.begin_txn db in
+  ok (Db.update db txn ~table:1 ~key:5 ~value:"open");
+  let first_lsn_region = Db.log_end db in
+  for k = 0 to 100 do
+    Db.put db ~table:1 ~key:k ~value:"v2"
+  done;
+  Db.checkpoint db;
+  Db.compact_log db;
+  let engine = Db.engine db in
+  (* The archive point must not pass the open transaction's chain, which
+     started before [first_lsn_region]. *)
+  check "open txn pins the log" true (Log.base_lsn engine.Engine.log < first_lsn_region);
+  (* And the abort can still walk its chain.  Undo restores the before-
+     image ("v"), clobbering the later blind write — exactly why full
+     isolation needs the locking of the companion paper [13], which is out
+     of scope here. *)
+  Db.abort db txn;
+  check "abort after checkpoint walks the pinned chain" true
+    (Db.read db ~table:1 ~key:5 = Some "v")
+
+let test_commit_forces_log () =
+  let db = make () in
+  let engine = Db.engine db in
+  let txn = Db.begin_txn db in
+  ok (Db.insert db txn ~table:1 ~key:1 ~value:"a");
+  let stable_before = Log.stable_lsn engine.Engine.log in
+  Db.commit db txn;
+  check "commit advanced the stable log" true (Log.stable_lsn engine.Engine.log > stable_before);
+  check_int "everything stable after commit" (Log.end_lsn engine.Engine.log)
+    (Log.stable_lsn engine.Engine.log)
+
+let test_group_commit_semantics () =
+  (* Forces happen every 4th commit; commits queued in the volatile tail
+     at a crash are losers, exactly as the durability contract says. *)
+  let config = { config with Config.group_commit = 4; pool_pages = 256 } in
+  let db = Db.create ~config () in
+  Db.create_table db ~table:1;
+  (* Seed + checkpoint so only the group-commit txns are in the redo range. *)
+  for k = 0 to 49 do
+    Db.put db ~table:1 ~key:k ~value:"init"
+  done;
+  Db.checkpoint db;
+  let durability = ref [] in
+  for k = 0 to 9 do
+    let txn = Db.begin_txn db in
+    ok (Db.update db txn ~table:1 ~key:k ~value:(Printf.sprintf "gc-%d" k));
+    durability := Db.commit_durable db txn :: !durability
+  done;
+  (* 10 commits in groups of 4: forces after the 4th and 8th. *)
+  Alcotest.(check (list bool))
+    "durability acks follow the group boundary"
+    [ false; false; true; false; false; false; true; false; false; false ]
+    !durability;
+  let image = Db.crash db in
+  let recovered, _ = Db.recover image Deut_core.Recovery.Log1 in
+  for k = 0 to 7 do
+    check "group-covered commits survive" true
+      (Db.read recovered ~table:1 ~key:k = Some (Printf.sprintf "gc-%d" k))
+  done;
+  for k = 8 to 9 do
+    check "queued commits rolled back" true (Db.read recovered ~table:1 ~key:k = Some "init")
+  done;
+  (* flush_commits makes the tail durable. *)
+  let db2 = Db.create ~config () in
+  Db.create_table db2 ~table:1;
+  Db.put db2 ~table:1 ~key:1 ~value:"init";
+  Db.checkpoint db2;
+  let txn = Db.begin_txn db2 in
+  ok (Db.update db2 txn ~table:1 ~key:1 ~value:"flushed");
+  check "queued" false (Db.commit_durable db2 txn);
+  Db.flush_commits db2;
+  let recovered2, _ = Db.recover (Db.crash db2) Deut_core.Recovery.Sql1 in
+  check "flushed commit survives" true (Db.read recovered2 ~table:1 ~key:1 = Some "flushed")
+
+let test_monitor_counts_visible () =
+  let db = make () in
+  for k = 0 to 400 do
+    Db.put db ~table:1 ~key:k ~value:"x"
+  done;
+  check "delta records written" true (Db.deltas_written db > 0);
+  check "delta bytes accounted" true (Db.delta_bytes db > 0);
+  check "bw not more frequent than delta" true (Db.bws_written db <= Db.deltas_written db)
+
+let test_stats_snapshot () =
+  let db = make () in
+  for k = 0 to 199 do
+    Db.put db ~table:1 ~key:k ~value:"x"
+  done;
+  Db.checkpoint db;
+  let s = Db.stats db in
+  check_int "capacity" 48 s.Deut_core.Engine_stats.cache_capacity;
+  check "resident pages" true (s.Deut_core.Engine_stats.cache_resident > 0);
+  check "hit rate sane" true
+    (s.Deut_core.Engine_stats.hit_rate >= 0.0 && s.Deut_core.Engine_stats.hit_rate <= 1.0);
+  check "log records counted" true (s.Deut_core.Engine_stats.tc_log_records > 200);
+  check "not split" false s.Deut_core.Engine_stats.split_logs;
+  check "flushes happened at checkpoint" true (s.Deut_core.Engine_stats.flushes > 0);
+  let rendered = Db.stats_string db in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "rendering mentions the cache" true
+    (String.length rendered > 100 && contains rendered "cache:")
+
+let suite =
+  [
+    Alcotest.test_case "read your writes" `Quick test_read_your_writes;
+    Alcotest.test_case "stats snapshot" `Quick test_stats_snapshot;
+    Alcotest.test_case "error paths" `Quick test_error_paths;
+    Alcotest.test_case "abort rolls back" `Quick test_abort_rolls_back;
+    Alcotest.test_case "interleaved txns" `Quick test_interleaved_txns;
+    Alcotest.test_case "put upsert" `Quick test_put_upsert;
+    Alcotest.test_case "WAL invariant under churn" `Quick test_wal_invariant_under_churn;
+    Alcotest.test_case "penultimate checkpoint cleans" `Quick test_penultimate_checkpoint_cleans;
+    Alcotest.test_case "log archiving safe" `Quick test_log_archiving_safe;
+    Alcotest.test_case "archiving blocked by open txn" `Quick test_archiving_blocked_by_open_txn;
+    Alcotest.test_case "commit forces log" `Quick test_commit_forces_log;
+    Alcotest.test_case "group commit semantics" `Quick test_group_commit_semantics;
+    Alcotest.test_case "monitor counts visible" `Quick test_monitor_counts_visible;
+  ]

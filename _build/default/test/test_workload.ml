@@ -1,0 +1,162 @@
+(* Workload library: oracle semantics, driver behaviour, report rendering,
+   and the experiment harness at a tiny scale. *)
+
+module Db = Deut_core.Db
+module Config = Deut_core.Config
+module Recovery = Deut_core.Recovery
+module Workload = Deut_workload.Workload
+module Oracle = Deut_workload.Oracle
+module Driver = Deut_workload.Driver
+module Report = Deut_workload.Report
+module Experiment = Deut_workload.Experiment
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_oracle_txn_semantics () =
+  let o = Oracle.create () in
+  Oracle.begin_txn o 1;
+  Oracle.buffer_put o ~txn:1 ~table:1 ~key:5 ~value:"a";
+  check "pending writes invisible" true (Oracle.committed_value o ~table:1 ~key:5 = None);
+  Oracle.commit o ~txn:1;
+  check "committed visible" true (Oracle.committed_value o ~table:1 ~key:5 = Some "a");
+  Oracle.begin_txn o 2;
+  Oracle.buffer_put o ~txn:2 ~table:1 ~key:5 ~value:"b";
+  Oracle.buffer_delete o ~txn:2 ~table:1 ~key:5;
+  Oracle.buffer_put o ~txn:2 ~table:1 ~key:6 ~value:"c";
+  Oracle.abort o ~txn:2;
+  check "aborted writes discarded" true (Oracle.committed_value o ~table:1 ~key:5 = Some "a");
+  check "aborted inserts discarded" true (Oracle.committed_value o ~table:1 ~key:6 = None);
+  Oracle.begin_txn o 3;
+  Oracle.buffer_put o ~txn:3 ~table:1 ~key:5 ~value:"x";
+  Oracle.buffer_delete o ~txn:3 ~table:1 ~key:5;
+  Oracle.commit o ~txn:3;
+  check "in-txn order respected" true (Oracle.committed_value o ~table:1 ~key:5 = None);
+  Oracle.begin_txn o 4;
+  Oracle.buffer_put o ~txn:4 ~table:2 ~key:5 ~value:"other";
+  Oracle.commit o ~txn:4;
+  check_int "tables separate" 0 (Oracle.entry_count o ~table:1);
+  check_int "tables separate 2" 1 (Oracle.entry_count o ~table:2);
+  Alcotest.(check (list (pair int string))) "sorted entries" [ (5, "other") ]
+    (Oracle.committed_entries o ~table:2)
+
+let small_config =
+  { Config.default with Config.page_size = 1024; pool_pages = 32; delta_period = 50 }
+
+let small_spec = { Workload.default with Workload.rows = 500; value_size = 12; seed = 2 }
+
+let test_driver_load_and_verify () =
+  let driver = Driver.create ~config:small_config small_spec in
+  (* Without any crash, the live db must match the oracle. *)
+  (match Driver.verify_recovered driver (Driver.db driver) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_int "all rows loaded" 500 (Db.entry_count (Driver.db driver) ~table:1)
+
+let test_driver_updates_tracked () =
+  let driver = Driver.create ~config:small_config small_spec in
+  Driver.run_updates driver ~updates:200;
+  check "updates counted" true (Driver.updates_done driver >= 200);
+  match Driver.verify_recovered driver (Driver.db driver) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_driver_mixed_ops () =
+  let spec =
+    {
+      small_spec with
+      Workload.op_mix = Workload.Mixed { update = 0.4; insert = 0.3; delete = 0.2; read = 0.1 };
+    }
+  in
+  let driver = Driver.create ~config:small_config spec in
+  Driver.run_updates driver ~updates:400;
+  match Driver.verify_recovered driver (Driver.db driver) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_crash_protocol_tail () =
+  (* The protocol must leave roughly [tail] updates after the last Δ/BW
+     record so logical redo exercises its fallback.  The table must exceed
+     the cache: with everything resident there are no misses, hence no
+     background flushing and eventually no dirty transitions, and the late
+     Δ windows come out empty (correctly emitting nothing). *)
+  let spec = { small_spec with Workload.rows = 2500 } in
+  let driver = Driver.create ~config:small_config spec in
+  Driver.run_crash_protocol driver ~checkpoints:2 ~interval:200 ~tail:17;
+  let image = Driver.crash driver in
+  let recovered, stats = Db.recover image Recovery.Log1 in
+  (match Driver.verify_recovered driver recovered with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check "tail of expected size" true
+    (stats.Deut_core.Recovery_stats.tail_records >= 15
+    && stats.Deut_core.Recovery_stats.tail_records <= 60)
+
+let test_value_of_sizes () =
+  let rng = Deut_sim.Rng.create ~seed:3 in
+  List.iter
+    (fun size ->
+      let v = Workload.value_of rng ~size in
+      Alcotest.(check int) "exact size" size (String.length v);
+      String.iter
+        (fun c ->
+          if not ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) then
+            Alcotest.failf "unexpected byte %C" c)
+        v)
+    [ 0; 1; 16; 255 ]
+
+let test_sequential_distribution () =
+  let spec =
+    { small_spec with Workload.rows = 100; key_dist = Workload.Sequential; seed = 6 }
+  in
+  let driver = Driver.create ~config:small_config spec in
+  Driver.run_updates driver ~updates:250;
+  (* Sequential keys wrap around; state still matches the oracle. *)
+  match Driver.verify_recovered driver (Driver.db driver) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_report_table () =
+  let rendered =
+    Report.table ~title:"T" ~header:[ "name"; "value" ]
+      ~rows:[ [ "alpha"; "1.0" ]; [ "very-long-name"; "22.5" ] ]
+      ()
+  in
+  let lines = String.split_on_char '\n' rendered in
+  check_int "title + header + rule + 2 rows + trailing" 6 (List.length lines);
+  (* All data lines equally wide (aligned). *)
+  (match lines with
+  | _title :: header :: rule :: r1 :: r2 :: _ ->
+      check_int "aligned widths" (String.length header) (String.length rule);
+      check "rows padded" true (String.length r1 = String.length r2)
+  | _ -> Alcotest.fail "unexpected shape");
+  let csv = Report.csv ~header:[ "a"; "b" ] ~rows:[ [ "1"; "2" ] ] in
+  Alcotest.(check string) "csv" "a,b\n1,2\n" csv
+
+let test_experiment_tiny () =
+  (* One tiny experiment cell end-to-end, verifying every method. *)
+  let setup = Experiment.paper_setup ~scale:512 ~cache_mb:256 () in
+  let run = Experiment.build setup in
+  check "db built" true (run.Experiment.db_pages > 100);
+  check "dirty pages at crash" true (run.Experiment.dirty_at_crash > 0);
+  check "deltas written" true (run.Experiment.deltas_total > 0);
+  check "dirty fraction sane" true
+    (run.Experiment.dirty_fraction > 0.0 && run.Experiment.dirty_fraction <= 1.0);
+  let results = Experiment.run_all run Recovery.all_methods in
+  check_int "five methods" 5 (List.length results);
+  List.iter
+    (fun (_, stats) -> check "redo happened" true (stats.Deut_core.Recovery_stats.records_scanned > 0))
+    results
+
+let suite =
+  [
+    Alcotest.test_case "oracle txn semantics" `Quick test_oracle_txn_semantics;
+    Alcotest.test_case "driver load + verify" `Quick test_driver_load_and_verify;
+    Alcotest.test_case "driver updates tracked" `Quick test_driver_updates_tracked;
+    Alcotest.test_case "driver mixed ops" `Quick test_driver_mixed_ops;
+    Alcotest.test_case "crash protocol tail" `Quick test_crash_protocol_tail;
+    Alcotest.test_case "value_of sizes" `Quick test_value_of_sizes;
+    Alcotest.test_case "sequential distribution" `Quick test_sequential_distribution;
+    Alcotest.test_case "report table" `Quick test_report_table;
+    Alcotest.test_case "experiment tiny cell" `Slow test_experiment_tiny;
+  ]
