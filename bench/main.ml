@@ -43,6 +43,8 @@ let () =
   print_string (Figures.fig2b fig2_cells);
   section "FIGURE 2(c)";
   print_string (Figures.fig2c fig2_cells);
+  section "PER-PHASE BREAKDOWN";
+  print_string (Figures.phase_table fig2_cells);
   section "SECTION 5.3 CLAIMS";
   print_string (Figures.sec53 fig2_cells);
   section "APPENDIX B COST MODEL";

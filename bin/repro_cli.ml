@@ -6,6 +6,12 @@ module Figures = Deut_workload.Figures
 module Experiment = Deut_workload.Experiment
 module Recovery = Deut_core.Recovery
 module Recovery_stats = Deut_core.Recovery_stats
+module Config = Deut_core.Config
+module Db = Deut_core.Db
+module Engine = Deut_core.Engine
+module Driver = Deut_workload.Driver
+module Report = Deut_workload.Report
+module Trace = Deut_obs.Trace
 
 let progress msg = Printf.eprintf "[repro] %s\n%!" msg
 
@@ -136,9 +142,113 @@ let crash_cmd =
     (Cmd.info "crash" ~doc:"One crash, recovered side-by-side with full per-method statistics")
     Term.(const run $ scale_arg $ cache_arg $ methods_arg $ repeat_arg)
 
+let trace_cmd =
+  let method_arg =
+    Arg.(
+      value
+      & pos 0 method_conv Recovery.Log2
+      & info [] ~docv:"METHOD"
+          ~doc:"Recovery method to trace (log0, log1, log2, sql1, sql2, aries).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Chrome trace_event JSON output path (default trace_<method>_<cache>.json).")
+  in
+  let csv_arg =
+    Arg.(
+      value & flag
+      & info [ "csv" ] ~doc:"Also write the flat event list as CSV next to the JSON file.")
+  in
+  let run scale cache method_ out emit_csv =
+    progress (Printf.sprintf "building crash at cache %d MB, scale 1/%d" cache scale);
+    let checkpoint_mode =
+      if method_ = Recovery.Aries_ckpt then Config.Aries_fuzzy else Config.Penultimate
+    in
+    let setup = Experiment.paper_setup ~scale ~cache_mb:cache ~checkpoint_mode () in
+    let crash = Experiment.build setup in
+    let config =
+      { setup.Experiment.config with Config.tracing = true; trace_capacity = 1 lsl 20 }
+    in
+    progress (Printf.sprintf "recovering with %s, tracing on" (Recovery.method_to_string method_));
+    let db, stats = Db.recover ~config crash.Experiment.image method_ in
+    (match Driver.verify_recovered crash.Experiment.driver db with
+    | Ok () -> ()
+    | Error msg ->
+        failwith
+          (Printf.sprintf "recovery with %s produced wrong state: %s"
+             (Recovery.method_to_string method_) msg));
+    let tr =
+      match Engine.trace (Db.engine db) with
+      | Some tr -> tr
+      | None -> failwith "tracing was not enabled on the recovery engine"
+    in
+    let path =
+      match out with
+      | Some p -> p
+      | None ->
+          Printf.sprintf "trace_%s_%d.json" (Recovery.method_to_string method_) cache
+    in
+    let write_file p s =
+      let oc = open_out p in
+      output_string oc s;
+      close_out oc
+    in
+    write_file path (Trace.to_chrome_json tr);
+    Printf.printf "wrote %s (%d events, %d dropped)\n" path (Trace.length tr) (Trace.dropped tr);
+    if emit_csv then begin
+      let csv_path = Filename.remove_extension path ^ ".csv" in
+      write_file csv_path (Report.csv ~header:Trace.csv_header ~rows:(Trace.csv_rows tr));
+      Printf.printf "wrote %s\n" csv_path
+    end;
+    print_newline ();
+    print_string
+      (Report.table ~title:"Per-phase breakdown (simulated ms)"
+         ~header:[ "phase"; "ms" ]
+         ~rows:
+           [
+             [ "analysis"; Report.ms (Recovery_stats.analysis_ms stats) ];
+             [ "redo"; Report.ms (Recovery_stats.redo_ms stats) ];
+             [ "undo"; Report.ms (Recovery_stats.undo_ms stats) ];
+             [ "total"; Report.ms (Recovery_stats.total_ms stats) ];
+           ]
+         ());
+    print_newline ();
+    (* Cross-check the trace against the counters: every page fetch and every
+       redo candidate must have produced exactly one span. *)
+    let fetch_spans = Trace.count tr ~kind:Trace.Span ~name:"page_fetch" () in
+    let redo_spans = Trace.count tr ~kind:Trace.Span ~name:"redo_op" () in
+    let fetches =
+      stats.Recovery_stats.data_page_fetches + stats.Recovery_stats.index_page_fetches
+    in
+    let candidates = stats.Recovery_stats.redo_candidates in
+    Printf.printf "page_fetch spans: %d (stats: %d)\nredo_op spans:    %d (stats: %d)\n"
+      fetch_spans fetches redo_spans candidates;
+    if Trace.dropped tr > 0 then begin
+      Printf.eprintf "FAIL: ring overflowed, %d events dropped — raise trace_capacity\n"
+        (Trace.dropped tr);
+      exit 1
+    end;
+    if fetch_spans <> fetches || redo_spans <> candidates then begin
+      Printf.eprintf "FAIL: trace spans disagree with Recovery_stats counters\n";
+      exit 1
+    end;
+    print_endline "trace/counter cross-check OK"
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Recover once with virtual-clock tracing on and export a Chrome trace_event JSON \
+          (load it in chrome://tracing or Perfetto); validates span counts against \
+          Recovery_stats.")
+    Term.(const run $ scale_arg $ cache_arg $ method_arg $ out_arg $ csv_arg)
+
 let () =
   let doc =
     "reproduction of 'Implementing Performance Competitive Logical Recovery' (VLDB 2011)"
   in
   let info = Cmd.info "repro_cli" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ fig2_cmd; fig3_cmd; appd_cmd; splitlog_cmd; crash_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group info [ fig2_cmd; fig3_cmd; appd_cmd; splitlog_cmd; crash_cmd; trace_cmd ]))

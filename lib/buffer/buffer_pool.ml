@@ -58,6 +58,8 @@ type t = {
   mutable cur_epoch : bool;
   in_flight : (int, float) Hashtbl.t;
   counters : counters;
+  mutable trace : Deut_obs.Trace.t option;
+  mutable stall_hist : Deut_obs.Metrics.histogram option;
 }
 
 let dummy_page = Page.create ~page_size:Page.header_size ~pid:(-1) Page.Free
@@ -106,7 +108,13 @@ let create ~capacity ?(block_pages = 8) ?(lazy_writer_every = 0) ?(lazy_writer_m
         evictions = 0;
         flushes = 0;
       };
+    trace = None;
+    stall_hist = None;
   }
+
+let instrument t ?trace ?stall_hist () =
+  t.trace <- trace;
+  t.stall_hist <- stall_hist
 
 let set_hooks t hooks = t.hooks <- hooks
 let capacity t = t.capacity
@@ -142,6 +150,11 @@ let flush_frame t f =
   ignore (Disk.submit_write t.disk ~pid:f.pid);
   f.dirty <- false;
   t.counters.flushes <- t.counters.flushes + 1;
+  (match t.trace with
+  | Some tr ->
+      Deut_obs.Trace.instant tr ~name:"flush" ~cat:"cache" ~track:Deut_obs.Trace.track_cache
+        ~args:[ ("pid", f.pid) ] ()
+  | None -> ());
   t.hooks.on_flush ~pid:f.pid
 
 (* CLOCK second-chance sweep.  Pinned frames are skipped; a dirty victim is
@@ -233,8 +246,32 @@ let stall_until t completion =
   if completion > now then begin
     t.counters.stalls <- t.counters.stalls + 1;
     t.counters.stall_us <- t.counters.stall_us +. (completion -. now);
+    (match t.stall_hist with
+    | Some h -> Deut_obs.Metrics.observe h (completion -. now)
+    | None -> ());
+    (match t.trace with
+    | Some tr ->
+        Deut_obs.Trace.span tr ~name:"stall" ~cat:"cache" ~track:Deut_obs.Trace.track_cache
+          ~ts:now ~dur:(completion -. now) ()
+    | None -> ());
     Clock.advance_to t.clock completion
   end
+
+(* One "page_fetch" span per cache fill that went to disk (miss or
+   prefetched page claimed), covering submit-to-install.  Recovery's span
+   accounting relies on fetch spans ≡ misses + prefetch_hits. *)
+let note_fetch t ~pid ~start ~prefetched =
+  match t.trace with
+  | Some tr ->
+      Deut_obs.Trace.span tr ~name:"page_fetch" ~cat:"cache" ~track:Deut_obs.Trace.track_cache
+        ~ts:start
+        ~dur:(Clock.now t.clock -. start)
+        ~args:[ ("pid", pid); ("prefetched", if prefetched then 1 else 0) ]
+        ();
+      if prefetched then
+        Deut_obs.Trace.instant tr ~name:"prefetch_hit" ~cat:"cache"
+          ~track:Deut_obs.Trace.track_cache ~args:[ ("pid", pid) ] ()
+  | None -> ()
 
 let get t ?(pin = false) pid =
   let f =
@@ -248,16 +285,22 @@ let get t ?(pin = false) pid =
         match Hashtbl.find_opt t.in_flight pid with
         | Some completion ->
             (* The page was prefetched; wait (if needed) for that IO. *)
+            let start = Clock.now t.clock in
             stall_until t completion;
             Hashtbl.remove t.in_flight pid;
             t.counters.prefetch_hits <- t.counters.prefetch_hits + 1;
-            install_frame t (Page_store.read t.store pid) ~dirty:false
+            let f = install_frame t (Page_store.read t.store pid) ~dirty:false in
+            note_fetch t ~pid ~start ~prefetched:true;
+            f
         | None ->
             t.counters.misses <- t.counters.misses + 1;
             lazy_writer_tick t;
+            let start = Clock.now t.clock in
             let completion = Disk.submit_read t.disk ~pid in
             stall_until t completion;
-            install_frame t (Page_store.read t.store pid) ~dirty:false)
+            let f = install_frame t (Page_store.read t.store pid) ~dirty:false in
+            note_fetch t ~pid ~start ~prefetched:false;
+            f)
   in
   if pin then f.pins <- f.pins + 1;
   f.page
@@ -333,7 +376,14 @@ let prefetch t pids =
   if accepted <> [] then begin
     let completion = Disk.submit_batch_read t.disk accepted in
     List.iter (fun pid -> Hashtbl.replace t.in_flight pid completion) accepted;
-    t.counters.prefetch_issued <- t.counters.prefetch_issued + List.length accepted
+    t.counters.prefetch_issued <- t.counters.prefetch_issued + List.length accepted;
+    match t.trace with
+    | Some tr ->
+        Deut_obs.Trace.instant tr ~name:"prefetch_issue" ~cat:"cache"
+          ~track:Deut_obs.Trace.track_cache
+          ~args:[ ("count", List.length accepted); ("first_pid", List.hd accepted) ]
+          ()
+    | None -> ()
   end
 
 let flush_page t pid =

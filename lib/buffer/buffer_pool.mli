@@ -62,6 +62,13 @@ val create :
     frames dirtied at least that many updates ago, so the flush lands in a
     later Δ/BW window than the page's last update and stays prunable. *)
 
+val instrument :
+  t -> ?trace:Deut_obs.Trace.t -> ?stall_hist:Deut_obs.Metrics.histogram -> unit -> unit
+(** Attach observability sinks.  Emits on the cache track: a [page_fetch]
+    span per miss or claimed prefetch (submit → install), a [stall] span
+    per wait on the disk (also fed to [stall_hist]), [prefetch_issue] /
+    [prefetch_hit] and [flush] instants.  Purely observational. *)
+
 val set_hooks : t -> hooks -> unit
 val capacity : t -> int
 val block_pages : t -> int

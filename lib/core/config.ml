@@ -82,6 +82,12 @@ type t = {
           setting).  Queued commits are {e not durable} until the next
           force — a crash loses them, and recovery correctly treats them
           as losers. *)
+  tracing : bool;
+      (** record structured events (virtual-clock timestamped) into the
+          engine's trace ring; off by default — recording is skipped
+          entirely when disabled and never advances the simulated clock
+          either way *)
+  trace_capacity : int;  (** trace ring-buffer size, in events *)
   seed : int;
 }
 
@@ -112,5 +118,7 @@ let default =
     log_layout = Integrated;
     locking = false;
     group_commit = 1;
+    tracing = false;
+    trace_capacity = 65536;
     seed = 42;
   }

@@ -8,6 +8,8 @@ module Log_manager = Deut_wal.Log_manager
 module Clock = Deut_sim.Clock
 module Disk = Deut_sim.Disk
 module Ivec = Deut_sim.Ivec
+module Metrics = Deut_obs.Metrics
+module Trace = Deut_obs.Trace
 
 type t = {
   config : Config.t;
@@ -26,12 +28,13 @@ type t = {
   mutable last_delta_tclsn : Lsn.t;
   mutable ticks : int;
   merge_allowed : bool ref;
+  trace : Trace.t option;
 }
 
-let create ~config ~clock ~disk ~store ~pool ~dc_log ~tc_force_upto () =
+let create ?trace ~config ~clock ~disk ~store ~pool ~dc_log ~tc_force_upto () =
   let elsn_ref = ref Lsn.nil in
   let monitor =
-    Monitor.create ~config
+    Monitor.create ?trace ~config
       ~log_append:(fun r ->
         let lsn = Log_manager.append dc_log r in
         (* With its own log, the DC must make Δ/BW records durable itself —
@@ -44,6 +47,7 @@ let create ~config ~clock ~disk ~store ~pool ~dc_log ~tc_force_upto () =
         | Config.Integrated -> ());
         lsn)
       ~stable_lsn:(fun () -> !elsn_ref)
+      ()
   in
   let t =
     {
@@ -63,6 +67,7 @@ let create ~config ~clock ~disk ~store ~pool ~dc_log ~tc_force_upto () =
       last_delta_tclsn = Lsn.nil;
       ticks = 0;
       merge_allowed = ref true;
+      trace;
     }
   in
   Pool.set_hooks pool
@@ -186,15 +191,14 @@ let tick_update t =
 
 (* Wrap an index traversal so its page fetches and stalls are attributed to
    index IO in the stats (§5.3 reports index waits separately). *)
-let tracked_index stats (pool : Pool.t) f =
+let tracked_index (stats : Recovery_stats.cells) (pool : Pool.t) f =
   let c = Pool.counters pool in
   let fetches0 = c.Pool.misses + c.Pool.prefetch_hits in
   let stall0 = c.Pool.stall_us in
   let result = f () in
-  stats.Recovery_stats.index_page_fetches <-
-    stats.Recovery_stats.index_page_fetches + (c.Pool.misses + c.Pool.prefetch_hits - fetches0);
-  stats.Recovery_stats.index_stall_us <-
-    stats.Recovery_stats.index_stall_us +. (c.Pool.stall_us -. stall0);
+  Metrics.add stats.Recovery_stats.index_page_fetches
+    (c.Pool.misses + c.Pool.prefetch_hits - fetches0);
+  Metrics.fadd stats.Recovery_stats.index_stall_us (c.Pool.stall_us -. stall0);
   result
 
 let height_of t ~table =
@@ -224,8 +228,14 @@ let install_image t ~pid ~image ~lsn =
       Page.set_dc_plsn page lsn;
       Pool.install t.pool page ~dirty:true ~event_lsn
 
-let redo_smo t ~lsn ~(smo : Lr.smo) ~dpt_test ~stats =
-  stats.Recovery_stats.smos_replayed <- stats.Recovery_stats.smos_replayed + 1;
+let redo_smo t ~lsn ~(smo : Lr.smo) ~dpt_test ~(stats : Recovery_stats.cells) =
+  Metrics.incr stats.Recovery_stats.smos_replayed;
+  (match t.trace with
+  | Some tr ->
+      Trace.instant tr ~name:"smo_replay" ~cat:"recovery" ~track:Trace.track_recovery
+        ~args:[ ("lsn", lsn); ("pages", Array.length smo.Lr.pages) ]
+        ()
+  | None -> ());
   Array.iter
     (fun (pid, image) ->
       Page_store.note_allocated t.store pid;
@@ -240,6 +250,14 @@ let redo_smo t ~lsn ~(smo : Lr.smo) ~dpt_test ~stats =
             end
             else install_image t ~pid ~image ~lsn)
     smo.Lr.pages
+
+let prune_entry t dpt pid =
+  Dpt.remove dpt pid;
+  match t.trace with
+  | Some tr ->
+      Trace.instant tr ~name:"dpt_prune" ~cat:"recovery" ~track:Trace.track_recovery
+        ~args:[ ("pid", pid) ] ()
+  | None -> ()
 
 let process_delta t ~pf ~prev_delta (d : Lr.delta) =
   let dpt = t.dpt in
@@ -256,7 +274,7 @@ let process_delta t ~pf ~prev_delta (d : Lr.delta) =
                  offset; a record starting at it is not covered by the
                  interval's first write (see the same fix in Algorithm 3,
                  recovery.ml). *)
-              if last < d.Lr.fw_lsn then Dpt.remove dpt pid
+              if last < d.Lr.fw_lsn then prune_entry t dpt pid
               else if rlsn < d.Lr.fw_lsn then Dpt.raise_rlsn dpt ~pid ~to_:d.Lr.fw_lsn
           | None -> ())
         d.Lr.written
@@ -269,7 +287,7 @@ let process_delta t ~pf ~prev_delta (d : Lr.delta) =
     Array.iter
       (fun pid ->
         match Dpt.find dpt pid with
-        | Some (_, last) when last < prev_delta -> Dpt.remove dpt pid
+        | Some (_, last) when last < prev_delta -> prune_entry t dpt pid
         | Some _ | None -> ())
       d.Lr.written
   end
@@ -283,13 +301,13 @@ let process_delta t ~pf ~prev_delta (d : Lr.delta) =
       Array.iter
         (fun pid ->
           match Dpt.find dpt pid with
-          | Some (_, last) when last < d.Lr.fw_lsn -> Dpt.remove dpt pid
+          | Some (_, last) when last < d.Lr.fw_lsn -> prune_entry t dpt pid
           | Some (rlsn, _) when rlsn < d.Lr.fw_lsn -> Dpt.raise_rlsn dpt ~pid ~to_:d.Lr.fw_lsn
           | Some _ | None -> ())
         d.Lr.written
   end
 
-let dc_recovery t ~log ~from ~bckpt ~build_dpt ~stats =
+let dc_recovery t ~log ~from ~bckpt ~build_dpt ~(stats : Recovery_stats.cells) =
   Hashtbl.reset t.heights;
   t.dpt <- Dpt.create ();
   let pf = Ivec.create ~capacity:1024 () in
@@ -298,17 +316,17 @@ let dc_recovery t ~log ~from ~bckpt ~build_dpt ~stats =
       match record with
       | Lr.Smo smo -> redo_smo t ~lsn ~smo ~dpt_test:false ~stats
       | Lr.Delta d when d.Lr.tc_lsn > bckpt ->
-          stats.Recovery_stats.deltas_seen <- stats.Recovery_stats.deltas_seen + 1;
+          Metrics.incr stats.Recovery_stats.deltas_seen;
           if build_dpt then process_delta t ~pf ~prev_delta:!prev_delta d;
           prev_delta := d.Lr.tc_lsn
       | Lr.Delta _ -> ()
-      | Lr.Bw _ -> stats.Recovery_stats.bws_seen <- stats.Recovery_stats.bws_seen + 1
+      | Lr.Bw _ -> Metrics.incr stats.Recovery_stats.bws_seen
       | Lr.Update_rec _ | Lr.Commit _ | Lr.Abort _ | Lr.Clr _ | Lr.Begin_ckpt | Lr.End_ckpt _
       | Lr.Aries_ckpt_dpt _ ->
           ());
   t.last_delta_tclsn <- !prev_delta;
   t.pf <- Ivec.to_array pf;
-  if build_dpt then stats.Recovery_stats.dpt_size <- Dpt.size t.dpt
+  if build_dpt then Metrics.add stats.Recovery_stats.dpt_size (Dpt.size t.dpt)
 
 let preload_indexes t ~stats =
   List.iter
@@ -323,17 +341,29 @@ let apply_view t ~(view : Lr.redo_view) ~pid ~lsn =
   | Lr.Delete, _ -> Btree.apply_delete tr ~pid ~key:view.Lr.rv_key ~lsn
   | (Lr.Insert | Lr.Update), None -> invalid_arg "Dc.apply_view: insert/update without a value"
 
-let fetch_and_test_then_apply t ~lsn ~view ~pid ~stats =
+let fetch_and_test_then_apply t ~lsn ~view ~pid ~(stats : Recovery_stats.cells) =
   let page = Pool.get t.pool pid in
-  if lsn <= Page.plsn page then
-    stats.Recovery_stats.skipped_plsn <- stats.Recovery_stats.skipped_plsn + 1
+  if lsn <= Page.plsn page then Metrics.incr stats.Recovery_stats.skipped_plsn
   else begin
     apply_view t ~view ~pid ~lsn;
-    stats.Recovery_stats.redo_applied <- stats.Recovery_stats.redo_applied + 1
+    Metrics.incr stats.Recovery_stats.redo_applied
   end
 
-let redo_logical t ~lsn ~(view : Lr.redo_view) ~use_dpt ~stats =
-  stats.Recovery_stats.redo_candidates <- stats.Recovery_stats.redo_candidates + 1;
+(* One "redo_op" span per redo candidate, covering CPU charge, index
+   traversal (logical) and any page fetch.  Recovery's span accounting
+   relies on redo_op spans ≡ redo_candidates. *)
+let note_redo_op t ~lsn ~pid ~ts0 =
+  match t.trace with
+  | Some tr ->
+      Trace.span tr ~name:"redo_op" ~cat:"recovery" ~track:Trace.track_recovery ~ts:ts0
+        ~dur:(Clock.now t.clock -. ts0)
+        ~args:[ ("lsn", lsn); ("pid", pid) ]
+        ()
+  | None -> ()
+
+let redo_logical t ~lsn ~(view : Lr.redo_view) ~use_dpt ~(stats : Recovery_stats.cells) =
+  Metrics.incr stats.Recovery_stats.redo_candidates;
+  let ts0 = Clock.now t.clock in
   let height = height_of t ~table:view.Lr.rv_table in
   Clock.advance t.clock
     (t.config.Config.cpu_op_us +. (t.config.Config.cpu_index_level_us *. float_of_int height));
@@ -342,26 +372,26 @@ let redo_logical t ~lsn ~(view : Lr.redo_view) ~use_dpt ~stats =
   let tr = tree t ~table:view.Lr.rv_table in
   let pid = tracked_index stats t.pool (fun () -> Btree.locate_leaf tr ~key:view.Lr.rv_key) in
   let in_tail = Lsn.is_nil t.last_delta_tclsn || lsn >= t.last_delta_tclsn in
-  if use_dpt && in_tail then
-    stats.Recovery_stats.tail_records <- stats.Recovery_stats.tail_records + 1;
-  if use_dpt && not in_tail then begin
-    match Dpt.find t.dpt pid with
-    | None -> stats.Recovery_stats.skipped_dpt <- stats.Recovery_stats.skipped_dpt + 1
-    | Some (rlsn, _) when lsn < rlsn ->
-        stats.Recovery_stats.skipped_rlsn <- stats.Recovery_stats.skipped_rlsn + 1
-    | Some _ -> fetch_and_test_then_apply t ~lsn ~view ~pid ~stats
-  end
-  else fetch_and_test_then_apply t ~lsn ~view ~pid ~stats
+  if use_dpt && in_tail then Metrics.incr stats.Recovery_stats.tail_records;
+  (if use_dpt && not in_tail then begin
+     match Dpt.find t.dpt pid with
+     | None -> Metrics.incr stats.Recovery_stats.skipped_dpt
+     | Some (rlsn, _) when lsn < rlsn -> Metrics.incr stats.Recovery_stats.skipped_rlsn
+     | Some _ -> fetch_and_test_then_apply t ~lsn ~view ~pid ~stats
+   end
+   else fetch_and_test_then_apply t ~lsn ~view ~pid ~stats);
+  note_redo_op t ~lsn ~pid ~ts0
 
-let redo_physiological t ~lsn ~(view : Lr.redo_view) ~use_dpt ~stats =
-  stats.Recovery_stats.redo_candidates <- stats.Recovery_stats.redo_candidates + 1;
+let redo_physiological t ~lsn ~(view : Lr.redo_view) ~use_dpt ~(stats : Recovery_stats.cells) =
+  Metrics.incr stats.Recovery_stats.redo_candidates;
+  let ts0 = Clock.now t.clock in
   Clock.advance t.clock t.config.Config.cpu_op_us;
   let pid = view.Lr.rv_pid in
-  if use_dpt then begin
-    match Dpt.find t.dpt pid with
-    | None -> stats.Recovery_stats.skipped_dpt <- stats.Recovery_stats.skipped_dpt + 1
-    | Some (rlsn, _) when lsn < rlsn ->
-        stats.Recovery_stats.skipped_rlsn <- stats.Recovery_stats.skipped_rlsn + 1
-    | Some _ -> fetch_and_test_then_apply t ~lsn ~view ~pid ~stats
-  end
-  else fetch_and_test_then_apply t ~lsn ~view ~pid ~stats
+  (if use_dpt then begin
+     match Dpt.find t.dpt pid with
+     | None -> Metrics.incr stats.Recovery_stats.skipped_dpt
+     | Some (rlsn, _) when lsn < rlsn -> Metrics.incr stats.Recovery_stats.skipped_rlsn
+     | Some _ -> fetch_and_test_then_apply t ~lsn ~view ~pid ~stats
+   end
+   else fetch_and_test_then_apply t ~lsn ~view ~pid ~stats);
+  note_redo_op t ~lsn ~pid ~ts0

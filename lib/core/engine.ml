@@ -1,12 +1,15 @@
 (** Assembly of one running engine instance: clock, disks, stable store,
-    log, cache, DC, TC.  [Db] wraps this for users; the recovery drivers
-    assemble one from a crash image. *)
+    log, cache, DC, TC, plus the observability bundle.  [Db] wraps this
+    for users; the recovery drivers assemble one from a crash image. *)
 
 module Clock = Deut_sim.Clock
 module Disk = Deut_sim.Disk
 module Page_store = Deut_storage.Page_store
 module Log_manager = Deut_wal.Log_manager
 module Pool = Deut_buffer.Buffer_pool
+module Obs = Deut_obs.Obs
+module Trace = Deut_obs.Trace
+module Metrics = Deut_obs.Metrics
 
 type t = {
   config : Config.t;
@@ -20,15 +23,73 @@ type t = {
   pool : Pool.t;
   dc : Dc.t;
   tc : Tc.t;
+  obs : Obs.t;
 }
 
 let split t = not (t.dc_log == t.log)
+let obs t = t.obs
+let trace t = Obs.trace t.obs
+let metrics t = Obs.metrics t.obs
+
+(* Lazy gauges over every live counter the engine keeps, so [Engine_stats]
+   and the CLI read one namespace instead of crawling component records.
+   Reading a gauge never mutates anything. *)
+let register_gauges t =
+  let m = metrics t in
+  let fi name f = Metrics.gauge m name (fun () -> float_of_int (f ())) in
+  let ff name f = Metrics.gauge m name f in
+  let pc = Pool.counters t.pool in
+  fi "cache.capacity" (fun () -> Pool.capacity t.pool);
+  fi "cache.resident" (fun () -> Pool.size t.pool);
+  fi "cache.dirty" (fun () -> Pool.dirty_count t.pool);
+  fi "cache.hits" (fun () -> pc.Pool.hits);
+  fi "cache.misses" (fun () -> pc.Pool.misses);
+  fi "cache.prefetch_issued" (fun () -> pc.Pool.prefetch_issued);
+  fi "cache.prefetch_hits" (fun () -> pc.Pool.prefetch_hits);
+  fi "cache.stalls" (fun () -> pc.Pool.stalls);
+  ff "cache.stall_us" (fun () -> pc.Pool.stall_us);
+  fi "cache.evictions" (fun () -> pc.Pool.evictions);
+  fi "cache.flushes" (fun () -> pc.Pool.flushes);
+  let dd = Disk.counters t.data_disk in
+  fi "disk.data.pages_read" (fun () -> dd.Disk.pages_read);
+  fi "disk.data.pages_written" (fun () -> dd.Disk.pages_written);
+  fi "disk.data.seeks" (fun () -> dd.Disk.seeks);
+  fi "disk.data.sequential" (fun () -> dd.Disk.sequential_requests);
+  let ld = Disk.counters t.log_disk in
+  fi "disk.log.pages_read" (fun () -> ld.Disk.pages_read);
+  fi "log.tc.records" (fun () -> Log_manager.record_count t.log);
+  fi "log.tc.end_lsn" (fun () -> Log_manager.end_lsn t.log);
+  fi "log.tc.base_lsn" (fun () -> Log_manager.base_lsn t.log);
+  fi "log.tc.forces" (fun () -> Log_manager.force_count t.log);
+  fi "log.dc.records" (fun () -> if split t then Log_manager.record_count t.dc_log else 0);
+  fi "log.dc.end_lsn" (fun () -> if split t then Log_manager.end_lsn t.dc_log else 0);
+  fi "log.dc.base_lsn" (fun () -> if split t then Log_manager.base_lsn t.dc_log else 0);
+  let monitor = Dc.monitor t.dc in
+  fi "monitor.delta_records" (fun () -> Monitor.deltas_written monitor);
+  fi "monitor.delta_bytes" (fun () -> Monitor.delta_bytes monitor);
+  fi "monitor.bw_records" (fun () -> Monitor.bws_written monitor);
+  fi "monitor.bw_bytes" (fun () -> Monitor.bw_bytes monitor);
+  fi "store.allocated" (fun () -> Page_store.allocated_count t.store);
+  fi "store.stable" (fun () -> Page_store.stable_count t.store);
+  ff "clock.now_us" (fun () -> Clock.now t.clock)
 
 let assemble ?dc_log config ~store ~log =
   let clock = Clock.create () in
+  let trace =
+    if config.Config.tracing then
+      Some (Trace.create ~now:(fun () -> Clock.now clock) ~capacity:config.Config.trace_capacity ())
+    else None
+  in
+  let obs = Obs.create ?trace () in
+  let m = Obs.metrics obs in
   let data_disk = Disk.create ~params:config.Config.data_disk clock in
   let log_disk = Disk.create ~params:config.Config.log_disk clock in
+  Disk.instrument data_disk ?trace ~io_hist:(Metrics.histogram m "disk.data.io_us")
+    ~track:Trace.track_data_disk ();
+  Disk.instrument log_disk ?trace ~io_hist:(Metrics.histogram m "disk.log.io_us")
+    ~track:Trace.track_log_disk ();
   Log_manager.attach_read_disk log log_disk;
+  Log_manager.instrument log ?trace ();
   let dc_log, dc_log_disk =
     match config.Config.log_layout with
     | Config.Integrated -> (log, None)
@@ -39,7 +100,10 @@ let assemble ?dc_log config ~store ~log =
           | None -> Log_manager.create ~page_size:config.Config.page_size
         in
         let disk = Disk.create ~params:config.Config.log_disk clock in
+        Disk.instrument disk ?trace ~io_hist:(Metrics.histogram m "disk.dc_log.io_us")
+          ~track:Trace.track_dc_log_disk ();
         Log_manager.attach_read_disk own disk;
+        Log_manager.instrument own ?trace ();
         (own, Some disk)
   in
   let pool =
@@ -47,12 +111,17 @@ let assemble ?dc_log config ~store ~log =
       ~lazy_writer_every:config.Config.lazy_writer_every
       ~lazy_writer_min_age:(2 * config.Config.delta_period) ~store ~disk:data_disk ~clock ()
   in
+  Pool.instrument pool ?trace ~stall_hist:(Metrics.histogram m "cache.stall_wait_us") ();
   let dc =
-    Dc.create ~config ~clock ~disk:data_disk ~store ~pool ~dc_log
+    Dc.create ?trace ~config ~clock ~disk:data_disk ~store ~pool ~dc_log
       ~tc_force_upto:(Log_manager.force_upto log) ()
   in
-  let tc = Tc.create ~config ~log in
-  { config; clock; data_disk; log_disk; dc_log_disk; store; log; dc_log; pool; dc; tc }
+  let tc = Tc.create ?trace ~config ~log () in
+  let t =
+    { config; clock; data_disk; log_disk; dc_log_disk; store; log; dc_log; pool; dc; tc; obs }
+  in
+  register_gauges t;
+  t
 
 let fresh config =
   let store = Page_store.create ~page_size:config.Config.page_size in

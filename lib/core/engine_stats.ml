@@ -1,10 +1,13 @@
 (** Introspection: one snapshot record over every counter the engine
     keeps — cache, disks, logs, monitors — with a human-readable
-    rendering.  [Db.stats]/[Db.stats_string] expose it to users. *)
+    rendering.  [Db.stats]/[Db.stats_string] expose it to users.
 
-module Pool = Deut_buffer.Buffer_pool
-module Disk = Deut_sim.Disk
-module Log = Deut_wal.Log_manager
+    Values are read from the engine's metrics registry (the gauges
+    [Engine.assemble] registers) rather than by crawling component
+    records, so this module and any external consumer see the same
+    namespace. *)
+
+module Metrics = Deut_obs.Metrics
 
 type t = {
   (* cache *)
@@ -46,27 +49,45 @@ type t = {
 }
 
 let capture (engine : Engine.t) =
-  let pool = engine.Engine.pool in
-  let c = Pool.counters pool in
-  let d = Disk.counters engine.Engine.data_disk in
-  let log = engine.Engine.log in
-  let dc_log = engine.Engine.dc_log in
-  let monitor = Dc.monitor engine.Engine.dc in
-  (* Snapshot the mutable counters before anything below (listing the
-     catalog, sizing the pool) touches the cache and perturbs them. *)
-  let hits = c.Pool.hits
-  and misses = c.Pool.misses
-  and prefetch_hits = c.Pool.prefetch_hits
-  and prefetch_issued = c.Pool.prefetch_issued
-  and evictions = c.Pool.evictions
-  and flushes = c.Pool.flushes
-  and stalls = c.Pool.stalls
-  and stall_us = c.Pool.stall_us in
+  let m = Engine.metrics engine in
+  let gi name = Metrics.read_int m name in
+  let gf name = Metrics.read m name in
+  (* Read every gauge before [tables] below touches the cache (listing the
+     catalog) and perturbs the counters being reported. *)
+  let cache_capacity = gi "cache.capacity"
+  and cache_resident = gi "cache.resident"
+  and cache_dirty = gi "cache.dirty"
+  and hits = gi "cache.hits"
+  and misses = gi "cache.misses"
+  and prefetch_hits = gi "cache.prefetch_hits"
+  and prefetch_issued = gi "cache.prefetch_issued"
+  and evictions = gi "cache.evictions"
+  and flushes = gi "cache.flushes"
+  and stalls = gi "cache.stalls"
+  and stall_us = gf "cache.stall_us"
+  and data_pages_read = gi "disk.data.pages_read"
+  and data_pages_written = gi "disk.data.pages_written"
+  and data_seeks = gi "disk.data.seeks"
+  and data_sequential = gi "disk.data.sequential"
+  and tc_log_records = gi "log.tc.records"
+  and tc_log_bytes = gi "log.tc.end_lsn"
+  and tc_log_base = gi "log.tc.base_lsn"
+  and tc_log_forces = gi "log.tc.forces"
+  and dc_log_records = gi "log.dc.records"
+  and dc_log_bytes = gi "log.dc.end_lsn"
+  and dc_log_base = gi "log.dc.base_lsn"
+  and delta_records = gi "monitor.delta_records"
+  and delta_bytes = gi "monitor.delta_bytes"
+  and bw_records = gi "monitor.bw_records"
+  and bw_bytes = gi "monitor.bw_bytes"
+  and allocated_pages = gi "store.allocated"
+  and stable_pages = gi "store.stable"
+  and sim_now_us = gf "clock.now_us" in
   let lookups = hits + misses + prefetch_hits in
   {
-    cache_capacity = Pool.capacity pool;
-    cache_resident = Pool.size pool;
-    cache_dirty = Pool.dirty_count pool;
+    cache_capacity;
+    cache_resident;
+    cache_dirty;
     hits;
     misses;
     hit_rate = (if lookups = 0 then 1.0 else float_of_int hits /. float_of_int lookups);
@@ -76,26 +97,25 @@ let capture (engine : Engine.t) =
     prefetch_hits;
     stalls;
     stall_ms = stall_us /. 1000.0;
-    data_pages_read = d.Disk.pages_read;
-    data_pages_written = d.Disk.pages_written;
-    data_seeks = d.Disk.seeks;
-    data_sequential = d.Disk.sequential_requests;
+    data_pages_read;
+    data_pages_written;
+    data_seeks;
+    data_sequential;
     split_logs = Engine.split engine;
-    tc_log_records = Log.record_count log;
-    tc_log_bytes = Log.end_lsn log;
-    tc_log_retained_bytes = Log.end_lsn log - Log.base_lsn log;
-    tc_log_forces = Log.force_count log;
-    dc_log_records = (if Engine.split engine then Log.record_count dc_log else 0);
-    dc_log_retained_bytes =
-      (if Engine.split engine then Log.end_lsn dc_log - Log.base_lsn dc_log else 0);
-    delta_records = Monitor.deltas_written monitor;
-    delta_bytes = Monitor.delta_bytes monitor;
-    bw_records = Monitor.bws_written monitor;
-    bw_bytes = Monitor.bw_bytes monitor;
-    allocated_pages = Deut_storage.Page_store.allocated_count engine.Engine.store;
-    stable_pages = Deut_storage.Page_store.stable_count engine.Engine.store;
+    tc_log_records;
+    tc_log_bytes;
+    tc_log_retained_bytes = tc_log_bytes - tc_log_base;
+    tc_log_forces;
+    dc_log_records;
+    dc_log_retained_bytes = dc_log_bytes - dc_log_base;
+    delta_records;
+    delta_bytes;
+    bw_records;
+    bw_bytes;
+    allocated_pages;
+    stable_pages;
     tables = List.length (Dc.tables engine.Engine.dc);
-    sim_now_ms = Deut_sim.Clock.now_ms engine.Engine.clock;
+    sim_now_ms = sim_now_us /. 1000.0;
   }
 
 let to_string t =

@@ -6,6 +6,7 @@ type t = {
   config : Config.t;
   log_append : Lr.t -> Lsn.t;
   stable_lsn : unit -> Lsn.t;
+  trace : Deut_obs.Trace.t option;
   (* Δ-record state *)
   dirty : Ivec.t;
   dirty_lsns : Ivec.t;  (* Perfect mode only *)
@@ -25,11 +26,12 @@ type t = {
   mutable bw_bytes : int;
 }
 
-let create ~config ~log_append ~stable_lsn =
+let create ?trace ~config ~log_append ~stable_lsn () =
   {
     config;
     log_append;
     stable_lsn;
+    trace;
     dirty = Ivec.create ();
     dirty_lsns = Ivec.create ();
     written = Ivec.create ();
@@ -90,6 +92,13 @@ let emit_delta t =
     ignore (t.log_append record);
     t.deltas <- t.deltas + 1;
     t.delta_bytes <- t.delta_bytes + String.length (Lr.encode record);
+    (match t.trace with
+    | Some tr ->
+        Deut_obs.Trace.instant tr ~name:"delta_emit" ~cat:"monitor"
+          ~track:Deut_obs.Trace.track_monitor
+          ~args:[ ("dirty", Ivec.length t.dirty); ("written", Ivec.length t.written) ]
+          ()
+    | None -> ());
     Ivec.clear t.dirty;
     Ivec.clear t.dirty_lsns;
     Ivec.clear t.written;
@@ -103,6 +112,13 @@ let emit_bw t =
     ignore (t.log_append record);
     t.bws <- t.bws + 1;
     t.bw_bytes <- t.bw_bytes + String.length (Lr.encode record);
+    (match t.trace with
+    | Some tr ->
+        Deut_obs.Trace.instant tr ~name:"bw_emit" ~cat:"monitor"
+          ~track:Deut_obs.Trace.track_monitor
+          ~args:[ ("written", Ivec.length t.bw_written) ]
+          ()
+    | None -> ());
     Ivec.clear t.bw_written;
     t.bw_fw_lsn <- Lsn.nil
   end

@@ -21,10 +21,14 @@
 type t
 
 val create :
+  ?trace:Deut_obs.Trace.t ->
   config:Config.t ->
   log_append:(Deut_wal.Log_record.t -> Deut_wal.Lsn.t) ->
   stable_lsn:(unit -> Deut_wal.Lsn.t) ->
+  unit ->
   t
+(** [trace] records a [delta_emit] / [bw_emit] instant (with set sizes) on
+    the monitor track for every record written. *)
 
 val on_dirty : t -> pid:int -> lsn:Deut_wal.Lsn.t -> unit
 val on_flush : t -> pid:int -> unit

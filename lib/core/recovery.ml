@@ -4,6 +4,8 @@ module Log_manager = Deut_wal.Log_manager
 module Clock = Deut_sim.Clock
 module Disk = Deut_sim.Disk
 module Pool = Deut_buffer.Buffer_pool
+module Metrics = Deut_obs.Metrics
+module Trace = Deut_obs.Trace
 
 type method_ = Log0 | Log1 | Log2 | Sql1 | Sql2 | Aries_ckpt
 
@@ -72,15 +74,23 @@ let scan_log log ~from =
   { records = arr; losers; max_txn = !max_txn }
 
 (* Algorithm 3: SQL Server's analysis pass. *)
-let sql_analysis log ~from ~stats =
+let sql_analysis ?trace log ~from ~(stats : Recovery_stats.cells) =
   let dpt = Dpt.create () in
+  let prune pid =
+    Dpt.remove dpt pid;
+    match trace with
+    | Some tr ->
+        Trace.instant tr ~name:"dpt_prune" ~cat:"recovery" ~track:Trace.track_recovery
+          ~args:[ ("pid", pid) ] ()
+    | None -> ()
+  in
   Log_manager.iter log ~from (fun lsn record ->
       match record with
       | Lr.Update_rec u -> ignore (Dpt.add dpt ~pid:u.Lr.pid_hint ~lsn)
       | Lr.Clr c -> ignore (Dpt.add dpt ~pid:c.Lr.pid_hint ~lsn)
       | Lr.Smo smo -> Array.iter (fun (pid, _) -> ignore (Dpt.add dpt ~pid ~lsn)) smo.Lr.pages
       | Lr.Bw b ->
-          stats.Recovery_stats.bws_seen <- stats.Recovery_stats.bws_seen + 1;
+          Metrics.incr stats.Recovery_stats.bws_seen;
           Array.iter
             (fun pid ->
               match Dpt.find dpt pid with
@@ -92,18 +102,18 @@ let sql_analysis log ~from ~stats =
                      the first write and is not covered by the flush — the
                      test must be strict.  (Algorithm 4 is already written
                      with a strict <.) *)
-                  if last < b.Lr.fw_lsn then Dpt.remove dpt pid
+                  if last < b.Lr.fw_lsn then prune pid
                   else if rlsn < b.Lr.fw_lsn then Dpt.raise_rlsn dpt ~pid ~to_:b.Lr.fw_lsn
               | None -> ())
             b.Lr.written
-      | Lr.Delta _ -> stats.Recovery_stats.deltas_seen <- stats.Recovery_stats.deltas_seen + 1
+      | Lr.Delta _ -> Metrics.incr stats.Recovery_stats.deltas_seen
       | Lr.Commit _ | Lr.Abort _ | Lr.Begin_ckpt | Lr.End_ckpt _ | Lr.Aries_ckpt_dpt _ -> ());
-  stats.Recovery_stats.dpt_size <- Dpt.size dpt;
+  Metrics.add stats.Recovery_stats.dpt_size (Dpt.size dpt);
   dpt
 
 (* §3.1: classic ARIES analysis — seed from the checkpoint-captured DPT,
    add first mentions, no flush-based pruning. *)
-let aries_analysis log ~from ~stats =
+let aries_analysis log ~from ~(stats : Recovery_stats.cells) =
   let dpt = Dpt.create () in
   let seeded = ref false in
   Log_manager.iter log ~from (fun lsn record ->
@@ -120,10 +130,10 @@ let aries_analysis log ~from ~stats =
               | Some _ | None -> Dpt.add_exact dpt ~pid ~rlsn ~last_lsn)
             entries
       | Lr.Aries_ckpt_dpt _ -> ()
-      | Lr.Bw _ -> stats.Recovery_stats.bws_seen <- stats.Recovery_stats.bws_seen + 1
-      | Lr.Delta _ -> stats.Recovery_stats.deltas_seen <- stats.Recovery_stats.deltas_seen + 1
+      | Lr.Bw _ -> Metrics.incr stats.Recovery_stats.bws_seen
+      | Lr.Delta _ -> Metrics.incr stats.Recovery_stats.deltas_seen
       | Lr.Commit _ | Lr.Abort _ | Lr.Begin_ckpt | Lr.End_ckpt _ -> ());
-  stats.Recovery_stats.dpt_size <- Dpt.size dpt;
+  Metrics.add stats.Recovery_stats.dpt_size (Dpt.size dpt);
   let redo_start =
     let m = Dpt.min_rlsn dpt in
     if Lsn.is_nil m then from else if Lsn.is_nil from then m else Lsn.min m from
@@ -186,13 +196,13 @@ let make_log_prefetcher dc (records : (Lsn.t * Lr.t) array) =
       if !chunk <> [] then Pool.prefetch pool (List.rev !chunk)
     end
 
-let redo_pass method_ (engine : Engine.t) (scan : scan_result) ~stats =
+let redo_pass method_ (engine : Engine.t) (scan : scan_result) ~(stats : Recovery_stats.cells) =
   let dc = engine.Engine.dc in
   let prefetch_pf = if method_ = Log2 then Some (make_pf_prefetcher dc) else None in
   let prefetch_log = if method_ = Sql2 then Some (make_log_prefetcher dc scan.records) else None in
   Array.iteri
     (fun i (lsn, record) ->
-      stats.Recovery_stats.records_scanned <- stats.Recovery_stats.records_scanned + 1;
+      Metrics.incr stats.Recovery_stats.records_scanned;
       (match prefetch_pf with Some f -> f () | None -> ());
       (match prefetch_log with Some f -> f i | None -> ());
       match record with
@@ -220,7 +230,15 @@ let recover ?config ?undo_fault_after_clrs image method_ =
       (Printf.sprintf
          "Recovery.recover: %s needs page ids on the TC log and cannot run in the split-log           layout (§5.1)"
          (method_to_string method_));
-  let stats = Recovery_stats.create () in
+  let trace = Engine.trace engine in
+  let stats = Recovery_stats.create ~metrics:(Engine.metrics engine) () in
+  let phase name ~ts0 =
+    match trace with
+    | Some tr ->
+        Trace.span tr ~name ~cat:"phase" ~track:Trace.track_recovery ~ts:ts0
+          ~dur:(Clock.now clock -. ts0) ()
+    | None -> ()
+  in
   let bckpt = Crash_image.master image in
   Pool.reset_counters pool;
   Pool.set_lazy_writer_enabled pool false;
@@ -248,54 +266,61 @@ let recover ?config ?undo_fault_after_clrs image method_ =
         Dc.preload_indexes dc ~stats;
         bckpt
     | Sql1 | Sql2 ->
-        Dc.set_dpt dc (sql_analysis log ~from:bckpt ~stats);
+        Dc.set_dpt dc (sql_analysis ?trace log ~from:bckpt ~stats);
         bckpt
     | Aries_ckpt ->
         let dpt, redo_start = aries_analysis log ~from:bckpt ~stats in
         Dc.set_dpt dc dpt;
         redo_start
   in
-  stats.Recovery_stats.analysis_us <- Clock.now clock -. t0;
+  Metrics.fset stats.Recovery_stats.analysis_us (Clock.now clock -. t0);
+  phase "analysis" ~ts0:t0;
   (* Phase 2+3: materialise the redo range, then redo. *)
   let t1 = Clock.now clock in
   let scan = scan_log log ~from:redo_start in
+  phase "log_scan" ~ts0:t1;
   redo_pass method_ engine scan ~stats;
-  stats.Recovery_stats.redo_us <- Clock.now clock -. t1;
+  Metrics.fset stats.Recovery_stats.redo_us (Clock.now clock -. t1);
+  phase "redo" ~ts0:t1;
   (* Phase 4: logical undo of losers (identical across methods, §2.1).
      The tree is fully replayed now; maintenance may resume. *)
   Dc.set_merge_allowed dc true;
   let t2 = Clock.now clock in
   Tc.restore_txn_state tc ~losers:scan.losers ~next_txn:(scan.max_txn + 1);
   Tc.set_master tc bckpt;
-  stats.Recovery_stats.losers <- List.length scan.losers;
+  Metrics.add stats.Recovery_stats.losers (List.length scan.losers);
   (try
      List.iter
        (fun (txn, last) ->
          let budget =
            Option.map
-             (fun n -> n - stats.Recovery_stats.clrs_written)
+             (fun n -> n - Metrics.count stats.Recovery_stats.clrs_written)
              undo_fault_after_clrs
          in
-         stats.Recovery_stats.clrs_written <-
-           stats.Recovery_stats.clrs_written
-           + Tc.undo_txn ?fault_after_clrs:budget tc dc ~txn ~last)
+         Metrics.add stats.Recovery_stats.clrs_written
+           (Tc.undo_txn ?fault_after_clrs:budget tc dc ~txn ~last))
        scan.losers
-   with Tc.Undo_interrupted n ->
-     stats.Recovery_stats.clrs_written <- stats.Recovery_stats.clrs_written + n);
-  stats.Recovery_stats.undo_us <- Clock.now clock -. t2;
+   with Tc.Undo_interrupted n -> Metrics.add stats.Recovery_stats.clrs_written n);
+  Metrics.fset stats.Recovery_stats.undo_us (Clock.now clock -. t2);
+  phase "undo" ~ts0:t2;
   Pool.set_lazy_writer_enabled pool true;
   (* Finalise the IO accounting. *)
   let c = Pool.counters pool in
   let total_fetches = c.Pool.misses + c.Pool.prefetch_hits in
-  stats.Recovery_stats.data_page_fetches <-
-    total_fetches - stats.Recovery_stats.index_page_fetches;
-  stats.Recovery_stats.data_stall_us <-
-    c.Pool.stall_us -. stats.Recovery_stats.index_stall_us;
-  stats.Recovery_stats.log_pages_read <-
-    log_disk_counters.Disk.pages_read
-    + (match dc_log_disk_counters with Some c -> c.Disk.pages_read | None -> 0);
-  stats.Recovery_stats.prefetch_issued <- c.Pool.prefetch_issued;
-  stats.Recovery_stats.prefetch_hits <- c.Pool.prefetch_hits;
-  stats.Recovery_stats.stalls <- c.Pool.stalls;
+  Metrics.add stats.Recovery_stats.data_page_fetches
+    (total_fetches - Metrics.count stats.Recovery_stats.index_page_fetches);
+  Metrics.fset stats.Recovery_stats.data_stall_us
+    (c.Pool.stall_us -. Metrics.value stats.Recovery_stats.index_stall_us);
+  Metrics.add stats.Recovery_stats.log_pages_read
+    (log_disk_counters.Disk.pages_read
+    + (match dc_log_disk_counters with Some c -> c.Disk.pages_read | None -> 0));
+  Metrics.add stats.Recovery_stats.prefetch_issued c.Pool.prefetch_issued;
+  Metrics.add stats.Recovery_stats.prefetch_hits c.Pool.prefetch_hits;
+  Metrics.add stats.Recovery_stats.stalls c.Pool.stalls;
+  (* Close the trace window before reopening the catalog below: the span
+     accounting (page_fetch ≡ fetches, redo_op ≡ candidates) holds exactly
+     over the recovery interval, and [open_tables] does cache work that is
+     not part of it. *)
+  Option.iter Trace.stop trace;
   Dc.open_tables dc;
-  (engine, stats)
+  (engine, Recovery_stats.snapshot stats)

@@ -52,14 +52,19 @@ type scan_result = {
 val scan_log : Deut_wal.Log_manager.t -> from:Deut_wal.Lsn.t -> scan_result
 
 val sql_analysis :
-  Deut_wal.Log_manager.t -> from:Deut_wal.Lsn.t -> stats:Recovery_stats.t -> Dpt.t
+  ?trace:Deut_obs.Trace.t ->
+  Deut_wal.Log_manager.t ->
+  from:Deut_wal.Lsn.t ->
+  stats:Recovery_stats.cells ->
+  Dpt.t
 (** Algorithm 3: SQL Server's DPT construction from update pids and
-    BW-log records. *)
+    BW-log records.  [trace] records a [dpt_prune] instant per removed
+    entry. *)
 
 val aries_analysis :
   Deut_wal.Log_manager.t ->
   from:Deut_wal.Lsn.t ->
-  stats:Recovery_stats.t ->
+  stats:Recovery_stats.cells ->
   Dpt.t * Deut_wal.Lsn.t
 (** §3.1: DPT from the checkpoint-captured image plus first mentions in
     the scan; returns the DPT and the redo scan start point (minimum

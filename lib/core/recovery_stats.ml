@@ -1,67 +1,136 @@
 (** Measurements of one recovery run — the quantities behind every figure
-    and table in the paper's evaluation (§5.3, Appendices B and C). *)
+    and table in the paper's evaluation (§5.3, Appendices B and C).
 
-type t = {
-  mutable analysis_us : float;  (** DC-recovery / analysis pass time *)
-  mutable redo_us : float;
-  mutable undo_us : float;
-  mutable records_scanned : int;  (** redo-range records examined *)
-  mutable redo_candidates : int;  (** update/CLR records subjected to a redo test *)
-  mutable redo_applied : int;
-  mutable skipped_dpt : int;  (** bypassed: page not in DPT (no page fetch) *)
-  mutable skipped_rlsn : int;  (** bypassed: LSN below the entry's rLSN (no fetch) *)
-  mutable skipped_plsn : int;  (** fetched, then bypassed by the pLSN test *)
-  mutable tail_records : int;  (** logical ops past the last Δ record (basic mode) *)
-  mutable data_page_fetches : int;
-  mutable index_page_fetches : int;
-  mutable data_stall_us : float;
-  mutable index_stall_us : float;
-  mutable log_pages_read : int;
-  mutable dpt_size : int;
-  mutable deltas_seen : int;  (** Δ-log records seen by the analysis pass (Fig. 2c) *)
-  mutable bws_seen : int;  (** BW-log records seen by the analysis pass (Fig. 2c) *)
-  mutable smos_replayed : int;
-  mutable losers : int;
-  mutable clrs_written : int;
-  mutable prefetch_issued : int;
-  mutable prefetch_hits : int;
-  mutable stalls : int;
+    Two representations: {!cells} is the live form the recovery passes
+    mutate — metric handles registered in a {!Deut_obs.Metrics.t} registry
+    under ["recovery.*"] names, so the CLI and [Engine_stats] can read them
+    uniformly — and {!t} is the plain frozen record callers receive from
+    [Recovery.recover] (same field names; take a {!snapshot} when the run
+    is over). *)
+
+module Metrics = Deut_obs.Metrics
+
+type cells = {
+  analysis_us : Metrics.dial;
+  redo_us : Metrics.dial;
+  undo_us : Metrics.dial;
+  records_scanned : Metrics.counter;
+  redo_candidates : Metrics.counter;
+  redo_applied : Metrics.counter;
+  skipped_dpt : Metrics.counter;
+  skipped_rlsn : Metrics.counter;
+  skipped_plsn : Metrics.counter;
+  tail_records : Metrics.counter;
+  data_page_fetches : Metrics.counter;
+  index_page_fetches : Metrics.counter;
+  data_stall_us : Metrics.dial;
+  index_stall_us : Metrics.dial;
+  log_pages_read : Metrics.counter;
+  dpt_size : Metrics.counter;
+  deltas_seen : Metrics.counter;
+  bws_seen : Metrics.counter;
+  smos_replayed : Metrics.counter;
+  losers : Metrics.counter;
+  clrs_written : Metrics.counter;
+  prefetch_issued : Metrics.counter;
+  prefetch_hits : Metrics.counter;
+  stalls : Metrics.counter;
 }
 
-let create () =
+(* Frozen snapshot.  Field names deliberately mirror [cells]; OCaml's
+   type-directed disambiguation keeps uses apart. *)
+type t = {
+  analysis_us : float;  (** DC-recovery / analysis pass time *)
+  redo_us : float;
+  undo_us : float;
+  records_scanned : int;  (** redo-range records examined *)
+  redo_candidates : int;  (** update/CLR records subjected to a redo test *)
+  redo_applied : int;
+  skipped_dpt : int;  (** bypassed: page not in DPT (no page fetch) *)
+  skipped_rlsn : int;  (** bypassed: LSN below the entry's rLSN (no fetch) *)
+  skipped_plsn : int;  (** fetched, then bypassed by the pLSN test *)
+  tail_records : int;  (** logical ops past the last Δ record (basic mode) *)
+  data_page_fetches : int;
+  index_page_fetches : int;
+  data_stall_us : float;
+  index_stall_us : float;
+  log_pages_read : int;
+  dpt_size : int;
+  deltas_seen : int;  (** Δ-log records seen by the analysis pass (Fig. 2c) *)
+  bws_seen : int;  (** BW-log records seen by the analysis pass (Fig. 2c) *)
+  smos_replayed : int;
+  losers : int;
+  clrs_written : int;
+  prefetch_issued : int;
+  prefetch_hits : int;
+  stalls : int;
+}
+
+let create ?metrics () : cells =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
+  let c name = Metrics.counter m ("recovery." ^ name) in
+  let d name = Metrics.dial m ("recovery." ^ name) in
   {
-    analysis_us = 0.0;
-    redo_us = 0.0;
-    undo_us = 0.0;
-    records_scanned = 0;
-    redo_candidates = 0;
-    redo_applied = 0;
-    skipped_dpt = 0;
-    skipped_rlsn = 0;
-    skipped_plsn = 0;
-    tail_records = 0;
-    data_page_fetches = 0;
-    index_page_fetches = 0;
-    data_stall_us = 0.0;
-    index_stall_us = 0.0;
-    log_pages_read = 0;
-    dpt_size = 0;
-    deltas_seen = 0;
-    bws_seen = 0;
-    smos_replayed = 0;
-    losers = 0;
-    clrs_written = 0;
-    prefetch_issued = 0;
-    prefetch_hits = 0;
-    stalls = 0;
+    analysis_us = d "analysis_us";
+    redo_us = d "redo_us";
+    undo_us = d "undo_us";
+    records_scanned = c "records_scanned";
+    redo_candidates = c "redo_candidates";
+    redo_applied = c "redo_applied";
+    skipped_dpt = c "skipped_dpt";
+    skipped_rlsn = c "skipped_rlsn";
+    skipped_plsn = c "skipped_plsn";
+    tail_records = c "tail_records";
+    data_page_fetches = c "data_page_fetches";
+    index_page_fetches = c "index_page_fetches";
+    data_stall_us = d "data_stall_us";
+    index_stall_us = d "index_stall_us";
+    log_pages_read = c "log_pages_read";
+    dpt_size = c "dpt_size";
+    deltas_seen = c "deltas_seen";
+    bws_seen = c "bws_seen";
+    smos_replayed = c "smos_replayed";
+    losers = c "losers";
+    clrs_written = c "clrs_written";
+    prefetch_issued = c "prefetch_issued";
+    prefetch_hits = c "prefetch_hits";
+    stalls = c "stalls";
   }
 
-let redo_ms t = t.redo_us /. 1000.0
-let analysis_ms t = t.analysis_us /. 1000.0
-let undo_ms t = t.undo_us /. 1000.0
-let total_ms t = (t.analysis_us +. t.redo_us +. t.undo_us) /. 1000.0
+let snapshot (s : cells) : t =
+  {
+    analysis_us = Metrics.value s.analysis_us;
+    redo_us = Metrics.value s.redo_us;
+    undo_us = Metrics.value s.undo_us;
+    records_scanned = Metrics.count s.records_scanned;
+    redo_candidates = Metrics.count s.redo_candidates;
+    redo_applied = Metrics.count s.redo_applied;
+    skipped_dpt = Metrics.count s.skipped_dpt;
+    skipped_rlsn = Metrics.count s.skipped_rlsn;
+    skipped_plsn = Metrics.count s.skipped_plsn;
+    tail_records = Metrics.count s.tail_records;
+    data_page_fetches = Metrics.count s.data_page_fetches;
+    index_page_fetches = Metrics.count s.index_page_fetches;
+    data_stall_us = Metrics.value s.data_stall_us;
+    index_stall_us = Metrics.value s.index_stall_us;
+    log_pages_read = Metrics.count s.log_pages_read;
+    dpt_size = Metrics.count s.dpt_size;
+    deltas_seen = Metrics.count s.deltas_seen;
+    bws_seen = Metrics.count s.bws_seen;
+    smos_replayed = Metrics.count s.smos_replayed;
+    losers = Metrics.count s.losers;
+    clrs_written = Metrics.count s.clrs_written;
+    prefetch_issued = Metrics.count s.prefetch_issued;
+    prefetch_hits = Metrics.count s.prefetch_hits;
+    stalls = Metrics.count s.stalls;
+  }
 
-let pp fmt t =
+let redo_ms (t : t) = t.redo_us /. 1000.0
+let analysis_ms (t : t) = t.analysis_us /. 1000.0
+let undo_ms (t : t) = t.undo_us /. 1000.0
+let total_ms (t : t) = (t.analysis_us +. t.redo_us +. t.undo_us) /. 1000.0
+
+let pp fmt (t : t) =
   Format.fprintf fmt
     "@[<v>analysis %.1f ms, redo %.1f ms, undo %.1f ms@,\
      records: scanned %d, candidates %d, applied %d, tail %d@,\

@@ -5,6 +5,7 @@ module Log_manager = Deut_wal.Log_manager
 type t = {
   config : Config.t;
   log : Log_manager.t;
+  trace : Deut_obs.Trace.t option;
   mutable next_txn : int;
   active : (int, Lsn.t) Hashtbl.t;  (* txn -> lastLSN of its chain *)
   starts : (int, Lsn.t) Hashtbl.t;  (* txn -> first LSN ([nil] = unknown) *)
@@ -13,10 +14,11 @@ type t = {
   mutable master : Lsn.t;
 }
 
-let create ~config ~log =
+let create ?trace ~config ~log () =
   {
     config;
     log;
+    trace;
     next_txn = 1;
     active = Hashtbl.create 32;
     starts = Hashtbl.create 32;
@@ -182,6 +184,7 @@ let undo_txn ?fault_after_clrs t dc ~txn ~last =
 let abort t dc ~txn = ignore (undo_txn t dc ~txn ~last:(last_lsn_of t txn))
 
 let checkpoint t dc =
+  let ts0 = match t.trace with Some tr -> Deut_obs.Trace.now tr | None -> 0.0 in
   let bckpt = Log_manager.append t.log Lr.Begin_ckpt in
   force_now t dc;
   (match t.config.Config.checkpoint_mode with
@@ -194,4 +197,11 @@ let checkpoint t dc =
       ignore (Log_manager.append t.log (Lr.Aries_ckpt_dpt { entries })));
   ignore (Log_manager.append t.log (Lr.End_ckpt { bckpt; active = active_txns t }));
   force_now t dc;
-  t.master <- bckpt
+  t.master <- bckpt;
+  match t.trace with
+  | Some tr ->
+      Deut_obs.Trace.span tr ~name:"ckpt" ~cat:"recovery" ~track:Deut_obs.Trace.track_recovery
+        ~ts:ts0
+        ~dur:(Deut_obs.Trace.now tr -. ts0)
+        ~args:[ ("bckpt", bckpt) ] ()
+  | None -> ()

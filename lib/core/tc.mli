@@ -9,7 +9,9 @@
 
 type t
 
-val create : config:Config.t -> log:Deut_wal.Log_manager.t -> t
+val create : ?trace:Deut_obs.Trace.t -> config:Config.t -> log:Deut_wal.Log_manager.t -> unit -> t
+(* [trace] records a [ckpt] span (begin-ckpt to end-ckpt force) on the
+   recovery track for every checkpoint. *)
 val log : t -> Deut_wal.Log_manager.t
 
 val master : t -> Deut_wal.Lsn.t

@@ -1,0 +1,134 @@
+(* Named metrics registry.  See metrics.mli for the contract. *)
+
+type counter = { c_name : string; mutable c : int }
+type dial = { d_name : string; mutable d : float }
+type gauge = { g_name : string; g_read : unit -> float }
+
+type histogram = {
+  h_name : string;
+  bounds : float array; (* ascending upper bounds; one extra overflow bucket *)
+  counts : int array; (* length = Array.length bounds + 1 *)
+  mutable h_n : int;
+  mutable h_sum : float;
+}
+
+type entry =
+  | Counter of counter
+  | Dial of dial
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = {
+  by_name : (string, entry) Hashtbl.t;
+  mutable order : string list; (* reverse registration order *)
+}
+
+let create () = { by_name = Hashtbl.create 64; order = [] }
+
+let register t name entry =
+  Hashtbl.replace t.by_name name entry;
+  t.order <- name :: t.order
+
+let kind_mismatch name = invalid_arg ("Metrics: kind mismatch for " ^ name)
+
+let counter t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Counter c) -> c
+  | Some _ -> kind_mismatch name
+  | None ->
+      let c = { c_name = name; c = 0 } in
+      register t name (Counter c);
+      c
+
+let dial t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Dial d) -> d
+  | Some _ -> kind_mismatch name
+  | None ->
+      let d = { d_name = name; d = 0.0 } in
+      register t name (Dial d);
+      d
+
+let gauge t name read =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Gauge _) -> ()
+  | Some _ -> kind_mismatch name
+  | None -> register t name (Gauge { g_name = name; g_read = read })
+
+let histogram t ?(base = 2.0) ?(lo = 1.0) ?(buckets = 24) name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Histogram h) -> h
+  | Some _ -> kind_mismatch name
+  | None ->
+      if base <= 1.0 || lo <= 0.0 || buckets < 1 then
+        invalid_arg "Metrics.histogram: need base > 1, lo > 0, buckets >= 1";
+      let bounds = Array.init buckets (fun i -> lo *. (base ** float_of_int i)) in
+      let h =
+        { h_name = name; bounds; counts = Array.make (buckets + 1) 0; h_n = 0; h_sum = 0.0 }
+      in
+      register t name (Histogram h);
+      h
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let fset d x = d.d <- x
+let fadd d x = d.d <- d.d +. x
+
+let bucket_of h x =
+  (* First bucket whose upper bound admits [x]; binary search not worth it
+     for two dozen buckets. *)
+  let n = Array.length h.bounds in
+  let rec go i = if i >= n || x <= h.bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h x =
+  let i = bucket_of h x in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.h_n <- h.h_n + 1;
+  h.h_sum <- h.h_sum +. x
+
+let count c = c.c
+let value d = d.d
+let bucket_bounds h = Array.copy h.bounds
+let bucket_counts h = Array.copy h.counts
+let observations h = h.h_n
+let sum h = h.h_sum
+
+let read t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Counter c) -> float_of_int c.c
+  | Some (Dial d) -> d.d
+  | Some (Gauge g) -> g.g_read ()
+  | Some (Histogram h) -> h.h_sum
+  | None -> raise Not_found
+
+let read_int t name = truncate (read t name)
+let mem t name = Hashtbl.mem t.by_name name
+let names t = List.rev t.order
+
+let render t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.by_name name with
+      | None -> ()
+      | Some (Counter c) -> Buffer.add_string buf (Printf.sprintf "%-32s %d\n" c.c_name c.c)
+      | Some (Dial d) -> Buffer.add_string buf (Printf.sprintf "%-32s %.3f\n" d.d_name d.d)
+      | Some (Gauge g) ->
+          Buffer.add_string buf (Printf.sprintf "%-32s %.3f\n" g.g_name (g.g_read ()))
+      | Some (Histogram h) ->
+          let mean = if h.h_n = 0 then 0.0 else h.h_sum /. float_of_int h.h_n in
+          Buffer.add_string buf
+            (Printf.sprintf "%-32s n=%d sum=%.1f mean=%.2f\n" h.h_name h.h_n h.h_sum mean);
+          Array.iteri
+            (fun i n ->
+              if n > 0 then
+                let label =
+                  if i < Array.length h.bounds then
+                    Printf.sprintf "<=%.0f" h.bounds.(i)
+                  else Printf.sprintf ">%.0f" h.bounds.(Array.length h.bounds - 1)
+                in
+                Buffer.add_string buf (Printf.sprintf "  %-12s %d\n" label n))
+            h.counts)
+    (names t);
+  Buffer.contents buf

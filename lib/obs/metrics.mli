@@ -1,0 +1,77 @@
+(** Named metrics registry: counters, dials, gauges and log-scale histograms.
+
+    Every engine owns one registry.  Components register their own
+    instruments under dotted names ("cache.hits", "disk.data.io_us") and
+    mutate them through O(1) handles; readers ([Engine_stats], the CLI)
+    address them by name.  The registry never touches the simulated clock,
+    so it cannot perturb simulated time. *)
+
+type counter
+(** Monotonic integer cell. *)
+
+type dial
+(** Settable float cell (a gauge the writer pushes into). *)
+
+type histogram
+(** Fixed-bucket histogram.  Buckets are upper bounds in ascending order
+    plus an implicit overflow bucket. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+(** {1 Registration}
+
+    Registering a name twice returns the existing instrument of that kind
+    and raises [Invalid_argument] on a kind mismatch. *)
+
+val counter : t -> string -> counter
+val dial : t -> string -> dial
+
+val gauge : t -> string -> (unit -> float) -> unit
+(** Lazy read-only metric; [read] runs only when the registry is queried. *)
+
+val histogram : t -> ?base:float -> ?lo:float -> ?buckets:int -> string -> histogram
+(** Log-scale buckets: upper bounds [lo *. base^i] for [i < buckets]
+    (defaults: base 2.0, lo 1.0, 24 buckets — 1 µs up to ~8.4 simulated
+    seconds), plus an overflow bucket. *)
+
+(** {1 Writing} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val fset : dial -> float -> unit
+val fadd : dial -> float -> unit
+val observe : histogram -> float -> unit
+
+(** {1 Reading} *)
+
+val count : counter -> int
+val value : dial -> float
+
+val bucket_of : histogram -> float -> int
+(** Index of the bucket [observe] would land the value in (last index is
+    the overflow bucket). *)
+
+val bucket_bounds : histogram -> float array
+val bucket_counts : histogram -> int array
+val observations : histogram -> int
+val sum : histogram -> float
+
+val read : t -> string -> float
+(** Current value by name: counters as floats, dials as-is, gauges by
+    calling their closure, histograms as their running sum.
+    @raise Not_found if no such metric is registered. *)
+
+val read_int : t -> string -> int
+(** [truncate (read t name)]. *)
+
+val mem : t -> string -> bool
+
+val names : t -> string list
+(** All registered names, in registration order. *)
+
+val render : t -> string
+(** Human-readable dump: one [name value] line per scalar metric, and for
+    each histogram a line with count/sum/mean plus its non-empty buckets. *)

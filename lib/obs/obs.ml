@@ -1,0 +1,9 @@
+(** Observability bundle carried by an engine: an optional event trace
+    (present only when [Config.tracing] is on) plus the always-on metrics
+    registry. *)
+
+type t = { trace : Trace.t option; metrics : Metrics.t }
+
+let create ?trace () = { trace; metrics = Metrics.create () }
+let trace t = t.trace
+let metrics t = t.metrics

@@ -1,0 +1,144 @@
+(* Ring-buffer event trace.  See trace.mli for the contract. *)
+
+type kind = Span | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  track : int;
+  ts : float;
+  dur : float;
+  kind : kind;
+  args : (string * int) list;
+}
+
+type t = {
+  now : unit -> float;
+  capacity : int;
+  buf : event array;
+  mutable total : int; (* events ever recorded *)
+  mutable stopped : bool;
+}
+
+let track_recovery = 0
+let track_cache = 1
+let track_data_disk = 2
+let track_log_disk = 3
+let track_dc_log_disk = 4
+let track_wal = 5
+let track_monitor = 6
+
+let track_name = function
+  | 0 -> "recovery"
+  | 1 -> "cache"
+  | 2 -> "data-disk"
+  | 3 -> "log-disk"
+  | 4 -> "dc-log-disk"
+  | 5 -> "wal"
+  | 6 -> "monitor"
+  | n -> "track-" ^ string_of_int n
+
+let dummy =
+  { name = ""; cat = ""; track = 0; ts = 0.0; dur = 0.0; kind = Instant; args = [] }
+
+let create ~now ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  { now; capacity; buf = Array.make capacity dummy; total = 0; stopped = false }
+
+let now t = t.now ()
+
+let push t ev =
+  if not t.stopped then begin
+    t.buf.(t.total mod t.capacity) <- ev;
+    t.total <- t.total + 1
+  end
+
+let span t ~name ~cat ?(track = 0) ~ts ~dur ?(args = []) () =
+  push t { name; cat; track; ts; dur; kind = Span; args }
+
+let instant t ~name ~cat ?(track = 0) ?(args = []) () =
+  push t { name; cat; track; ts = t.now (); dur = 0.0; kind = Instant; args }
+
+let stop t = t.stopped <- true
+let emitted t = t.total
+let length t = min t.total t.capacity
+let dropped t = max 0 (t.total - t.capacity)
+
+let events t =
+  let n = length t in
+  let first = t.total - n in
+  List.init n (fun i -> t.buf.((first + i) mod t.capacity))
+
+let count t ?kind ?name () =
+  let matches ev =
+    (match kind with Some k -> ev.kind = k | None -> true)
+    && match name with Some n -> ev.name = n | None -> true
+  in
+  List.fold_left (fun acc ev -> if matches ev then acc + 1 else acc) 0 (events t)
+
+(* ---------- export ---------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Fixed "%.3f" keeps the output byte-stable across runs: the inputs are
+   deterministic doubles from the simulation, so their rounding is too. *)
+let js_ts x = Printf.sprintf "%.3f" x
+
+let args_json args =
+  String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v) args)
+
+let event_json ev =
+  let common =
+    Printf.sprintf "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%s"
+      (json_escape ev.name) (json_escape ev.cat) ev.track (js_ts ev.ts)
+  in
+  let tail = match ev.args with [] -> "" | args -> Printf.sprintf ",\"args\":{%s}" (args_json args) in
+  match ev.kind with
+  | Span -> Printf.sprintf "{%s,\"ph\":\"X\",\"dur\":%s%s}" common (js_ts ev.dur) tail
+  | Instant -> Printf.sprintf "{%s,\"ph\":\"i\",\"s\":\"t\"%s}" common tail
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf s
+  in
+  (* Thread-name metadata so Perfetto labels the lanes. *)
+  for tid = 0 to 6 do
+    emit
+      (Printf.sprintf
+         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+         tid (track_name tid))
+  done;
+  List.iter (fun ev -> emit (event_json ev)) (events t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let csv_header = [ "ts_us"; "dur_us"; "kind"; "track"; "cat"; "name"; "args" ]
+
+let csv_rows t =
+  List.map
+    (fun ev ->
+      [
+        js_ts ev.ts;
+        js_ts ev.dur;
+        (match ev.kind with Span -> "span" | Instant -> "instant");
+        track_name ev.track;
+        ev.cat;
+        ev.name;
+        String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) ev.args);
+      ])
+    (events t)

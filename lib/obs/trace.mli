@@ -1,0 +1,93 @@
+(** Bounded ring buffer of typed events stamped with the simulated clock.
+
+    A trace is created with a [now] closure (normally the engine's virtual
+    clock) so this library stays below [Deut_sim] in the dependency order.
+    Events are spans (a name, a start timestamp and a duration, all in
+    simulated microseconds) or instants.  The buffer holds the most recent
+    [capacity] events; older ones are counted in [dropped] and discarded.
+
+    Recording never advances the clock and allocates nothing on the
+    disabled path (components hold a [t option] and skip emission when it
+    is [None]), so enabling tracing cannot change simulated results — and
+    because timestamps come from the deterministic simulation, two
+    identical-seed runs export byte-identical files. *)
+
+type kind = Span | Instant
+
+type event = {
+  name : string;  (** event type, e.g. "io_read", "stall", "redo_op" *)
+  cat : string;  (** coarse category, e.g. "io", "cache", "recovery" *)
+  track : int;  (** virtual thread lane, see the [track_*] constants *)
+  ts : float;  (** start timestamp, simulated µs *)
+  dur : float;  (** duration in simulated µs; 0 for instants *)
+  kind : kind;
+  args : (string * int) list;  (** small structured payload, e.g. page id *)
+}
+
+type t
+
+(** {1 Track conventions} *)
+
+val track_recovery : int  (** phase markers, redo ops, checkpoints *)
+
+val track_cache : int  (** buffer pool: fetches, stalls, prefetch *)
+
+val track_data_disk : int
+val track_log_disk : int
+val track_dc_log_disk : int
+val track_wal : int  (** log manager: forces *)
+
+val track_monitor : int  (** TC/DC monitor: delta / BW emission *)
+
+val track_name : int -> string
+
+(** {1 Recording} *)
+
+val create : now:(unit -> float) -> ?capacity:int -> unit -> t
+(** [capacity] defaults to 65536 events. *)
+
+val now : t -> float
+
+val span :
+  t -> name:string -> cat:string -> ?track:int -> ts:float -> dur:float ->
+  ?args:(string * int) list -> unit -> unit
+
+val instant :
+  t -> name:string -> cat:string -> ?track:int -> ?args:(string * int) list ->
+  unit -> unit
+(** Timestamped with [now ()]. *)
+
+val stop : t -> unit
+(** Ignore all further [span]/[instant] calls.  Used by [Recovery.recover]
+    to close the window once statistics are finalised, so post-recovery
+    activity (e.g. reopening the catalog) cannot skew span counts. *)
+
+(** {1 Reading} *)
+
+val events : t -> event list
+(** Buffered events, oldest first. *)
+
+val length : t -> int
+(** Number of buffered events (≤ capacity). *)
+
+val emitted : t -> int
+(** Total events ever recorded, including dropped ones. *)
+
+val dropped : t -> int
+
+val count : t -> ?kind:kind -> ?name:string -> unit -> int
+(** Buffered events matching the given filters. *)
+
+(** {1 Export} *)
+
+val to_chrome_json : t -> string
+(** Chrome [trace_event] JSON ({["{"traceEvents":[...]}"]}) loadable in
+    chrome://tracing or https://ui.perfetto.dev.  Spans become ph="X"
+    complete events, instants ph="i"; tracks map to tids with thread-name
+    metadata.  Deterministic: fixed field order, fixed float formatting. *)
+
+val csv_header : string list
+
+val csv_rows : t -> string list list
+(** One row per event matching [csv_header]; args are rendered as a single
+    ["k=v,k=v"] cell (exercises CSV quoting). *)

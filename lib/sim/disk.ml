@@ -22,6 +22,9 @@ type t = {
   counters : counters;
   mutable free_at : float;  (* when the queue drains *)
   mutable head_pos : int;  (* pid just past the last request served *)
+  mutable trace : Deut_obs.Trace.t option;
+  mutable track : int;
+  mutable io_hist : Deut_obs.Metrics.histogram option;
 }
 
 let create ?(params = default_params) clock =
@@ -32,7 +35,28 @@ let create ?(params = default_params) clock =
       { requests = 0; pages_read = 0; pages_written = 0; seeks = 0; sequential_requests = 0 };
     free_at = 0.0;
     head_pos = -1000;
+    trace = None;
+    track = 0;
+    io_hist = None;
   }
+
+let instrument t ?trace ?io_hist ~track () =
+  t.trace <- trace;
+  t.io_hist <- io_hist;
+  t.track <- track
+
+(* Record one serviced request.  [start] is when the head began moving, so
+   the span shows pure service time; queueing delay is visible as the gap
+   to the preceding span on the same track. *)
+let note t ~ev ~start ~completion ~args =
+  (match t.io_hist with
+  | Some h -> Deut_obs.Metrics.observe h (completion -. start)
+  | None -> ());
+  match t.trace with
+  | Some tr ->
+      Deut_obs.Trace.span tr ~name:ev ~cat:"io" ~track:t.track ~ts:start
+        ~dur:(completion -. start) ~args ()
+  | None -> ()
 
 let params t = t.params
 let counters t = t.counters
@@ -60,21 +84,24 @@ let submit t ~first_pid ~count =
   t.counters.requests <- t.counters.requests + 1;
   if sequential then t.counters.sequential_requests <- t.counters.sequential_requests + 1
   else t.counters.seeks <- t.counters.seeks + 1;
-  completion
+  (start, completion)
 
 let submit_read t ~pid =
-  let completion = submit t ~first_pid:pid ~count:1 in
+  let start, completion = submit t ~first_pid:pid ~count:1 in
   t.counters.pages_read <- t.counters.pages_read + 1;
+  note t ~ev:"io_read" ~start ~completion ~args:[ ("pid", pid) ];
   completion
 
 let submit_block_read t ~first_pid ~count =
-  let completion = submit t ~first_pid ~count in
+  let start, completion = submit t ~first_pid ~count in
   t.counters.pages_read <- t.counters.pages_read + count;
+  note t ~ev:"io_block" ~start ~completion ~args:[ ("first_pid", first_pid); ("count", count) ];
   completion
 
 let submit_write t ~pid =
-  let completion = submit t ~first_pid:pid ~count:1 in
+  let start, completion = submit t ~first_pid:pid ~count:1 in
   t.counters.pages_written <- t.counters.pages_written + 1;
+  note t ~ev:"io_write" ~start ~completion ~args:[ ("pid", pid) ];
   completion
 
 let submit_batch_read t pids =
@@ -99,13 +126,16 @@ let submit_batch_read t pids =
       t.head_pos <- !prev_end;
       t.counters.requests <- t.counters.requests + 1;
       t.counters.pages_read <- t.counters.pages_read + List.length sorted;
+      note t ~ev:"io_batch" ~start ~completion
+        ~args:[ ("first_pid", List.hd sorted); ("count", List.length sorted) ];
       completion
 
 let read_sync t ~pid = Clock.advance_to t.clock (submit_read t ~pid)
 
 let read_sequential_sync t ~first_pid ~count =
-  let completion = submit t ~first_pid ~count in
+  let start, completion = submit t ~first_pid ~count in
   t.counters.pages_read <- t.counters.pages_read + count;
+  note t ~ev:"io_log" ~start ~completion ~args:[ ("first_pid", first_pid); ("count", count) ];
   Clock.advance_to t.clock completion
 
 let drain t = Clock.advance_to t.clock t.free_at

@@ -36,6 +36,14 @@ type counters = {
 type t
 
 val create : ?params:params -> Clock.t -> t
+
+val instrument :
+  t -> ?trace:Deut_obs.Trace.t -> ?io_hist:Deut_obs.Metrics.histogram -> track:int -> unit -> unit
+(** Attach observability sinks.  Every serviced request is recorded as a
+    span ([io_read] / [io_write] / [io_block] / [io_batch] / [io_log]) on
+    [track] covering service time, and its latency is fed to [io_hist].
+    Purely observational: submission timing is unchanged. *)
+
 val params : t -> params
 val counters : t -> counters
 val reset_counters : t -> unit

@@ -19,6 +19,7 @@ type t = {
   mutable records : int;
   mutable forces : int;
   mutable read_disk : Deut_sim.Disk.t option;
+  mutable trace : Deut_obs.Trace.t option;
 }
 
 let create ~page_size =
@@ -32,7 +33,18 @@ let create ~page_size =
     records = 0;
     forces = 0;
     read_disk = None;
+    trace = None;
   }
+
+let instrument t ?trace () = t.trace <- trace
+
+let note_force t ~from =
+  match t.trace with
+  | Some tr ->
+      Deut_obs.Trace.instant tr ~name:"log_force" ~cat:"wal" ~track:Deut_obs.Trace.track_wal
+        ~args:[ ("stable", t.stable); ("bytes", t.stable - from) ]
+        ()
+  | None -> ()
 
 let page_size t = t.page_size
 let end_lsn t = t.len
@@ -66,8 +78,10 @@ let append t record =
 
 let force t =
   if t.len > t.stable then begin
+    let from = t.stable in
     t.stable <- t.len;
-    t.forces <- t.forces + 1
+    t.forces <- t.forces + 1;
+    note_force t ~from
   end
 
 let force_upto t lsn =
@@ -75,9 +89,11 @@ let force_upto t lsn =
     (* Stabilise through the end of the record starting at [lsn]. *)
     if lsn >= t.len then force t
     else begin
+      let from = t.stable in
       let payload_len = Int32.to_int (Bytes.get_int32_be t.data (lsn - t.base)) in
       t.stable <- Stdlib.max t.stable (lsn + frame_header + payload_len);
-      t.forces <- t.forces + 1
+      t.forces <- t.forces + 1;
+      note_force t ~from
     end
   end
 
@@ -149,6 +165,7 @@ let crash t =
     records = 0;
     forces = 0;
     read_disk = None;
+    trace = None;
   }
 
 let compact t ~keep_from =

@@ -36,6 +36,11 @@ val force_upto : t -> Lsn.t -> unit
 val record_count : t -> int
 val force_count : t -> int
 
+val instrument : t -> ?trace:Deut_obs.Trace.t -> unit -> unit
+(** Attach a trace sink: each stable-LSN advance emits a [log_force]
+    instant on the wal track with the new stable offset and the number of
+    bytes made durable.  Purely observational. *)
+
 exception Corrupt_record of Lsn.t
 (** A frame failed its checksum. *)
 

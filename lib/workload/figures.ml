@@ -63,6 +63,35 @@ let fig2a cells =
        insensitive to cache growth)"
     ~header ~rows ()
 
+let phase_table cells =
+  let methods = method_columns cells in
+  let header =
+    [ "Cache (MB)"; "Method"; "analysis"; "redo"; "undo"; "total (ms)" ]
+  in
+  let rows =
+    List.concat_map
+      (fun cell ->
+        List.map
+          (fun m ->
+            let s = stats_of cell m in
+            [
+              string_of_int cell.cache_mb;
+              Recovery.method_to_string m;
+              Report.ms (Rs.analysis_ms s);
+              Report.ms (Rs.redo_ms s);
+              Report.ms (Rs.undo_ms s);
+              Report.ms (Rs.total_ms s);
+            ])
+          methods)
+      cells
+  in
+  Report.table
+    ~title:
+      "Per-phase breakdown — simulated ms spent in analysis / redo / undo\n\
+       (redo dominates everywhere; analysis differences separate the DPT\n\
+       construction costs of §3 vs §4)"
+    ~header ~rows ()
+
 let fig2b cells =
   let header = [ "Cache (MB)"; "dirty % of cache"; "DPT size"; "cache pages"; "db pages" ] in
   let rows =

@@ -30,6 +30,10 @@ val run_fig2 :
 val fig2a : fig2_cell list -> string
 (** Figure 2(a): redo time (simulated ms) per method per cache size. *)
 
+val phase_table : fig2_cell list -> string
+(** Per-phase breakdown: simulated ms in analysis / redo / undo for every
+    (cache size, method) pair of a Figure 2 run. *)
+
 val fig2b : fig2_cell list -> string
 val fig2c : fig2_cell list -> string
 

@@ -4,6 +4,8 @@ val table : ?title:string -> header:string list -> rows:string list list -> unit
 (** Render an aligned table with a separator under the header. *)
 
 val csv : header:string list -> rows:string list list -> string
+(** RFC-4180 output: cells containing a comma, double quote or newline are
+    quoted (embedded quotes doubled); all other cells are written bare. *)
 
 val ms : float -> string
 (** Milliseconds with one decimal. *)

@@ -15,4 +15,5 @@ let () =
       ("engine", Test_engine.suite);
       ("split-log", Test_split_log.suite);
       ("locks", Test_locks.suite);
+      ("trace", Test_trace.suite);
     ]

@@ -23,7 +23,7 @@ let make ?(config = Config.default) () =
     incr lsn;
     !lsn
   in
-  let monitor = Monitor.create ~config ~log_append ~stable_lsn:(fun () -> !stable) in
+  let monitor = Monitor.create ~config ~log_append ~stable_lsn:(fun () -> !stable) () in
   { monitor; records; stable }
 
 let deltas e =

@@ -1,0 +1,254 @@
+(* Observability layer: trace ring semantics, Chrome-JSON export,
+   same-seed determinism of traced recoveries, span/counter agreement,
+   histogram bucketing, and CSV quoting. *)
+
+module Db = Deut_core.Db
+module Config = Deut_core.Config
+module Engine = Deut_core.Engine
+module Recovery = Deut_core.Recovery
+module Recovery_stats = Deut_core.Recovery_stats
+module Workload = Deut_workload.Workload
+module Driver = Deut_workload.Driver
+module Report = Deut_workload.Report
+module Trace = Deut_obs.Trace
+module Metrics = Deut_obs.Metrics
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ---------- ring buffer ---------- *)
+
+let test_ring_wraparound () =
+  let clock = ref 0.0 in
+  let tr = Trace.create ~now:(fun () -> !clock) ~capacity:4 () in
+  for i = 1 to 10 do
+    clock := float_of_int i;
+    Trace.instant tr ~name:(Printf.sprintf "e%d" i) ~cat:"t" ()
+  done;
+  check_int "length capped at capacity" 4 (Trace.length tr);
+  check_int "all emissions counted" 10 (Trace.emitted tr);
+  check_int "overflow reported" 6 (Trace.dropped tr);
+  let names = List.map (fun ev -> ev.Trace.name) (Trace.events tr) in
+  Alcotest.(check (list string)) "oldest-first, newest retained" [ "e7"; "e8"; "e9"; "e10" ] names;
+  Trace.stop tr;
+  Trace.instant tr ~name:"late" ~cat:"t" ();
+  check_int "stopped trace drops emissions" 10 (Trace.emitted tr)
+
+(* ---------- minimal JSON well-formedness checker ---------- *)
+
+(* Recursive-descent validator for the JSON subset the exporter emits;
+   raises [Failure] on malformed input. *)
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos >= n then failwith "eof" else s.[!pos] in
+  let advance () = incr pos in
+  let skip_ws () = while !pos < n && (peek () = ' ' || peek () = '\n') do advance () done in
+  let expect c = if peek () <> c then failwith (Printf.sprintf "expected %c at %d" c !pos) else advance () in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> string_lit ()
+    | '-' | '0' .. '9' -> number ()
+    | 't' -> literal "true"
+    | 'f' -> literal "false"
+    | 'n' -> literal "null"
+    | c -> failwith (Printf.sprintf "unexpected %c at %d" c !pos)
+  and literal lit =
+    String.iter (fun c -> expect c) lit
+  and string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> advance ()
+          | 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                (match peek () with
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> advance ()
+                | _ -> failwith "bad \\u escape")
+              done
+          | _ -> failwith "bad escape");
+          go ()
+      | c when Char.code c < 0x20 -> failwith "raw control char in string"
+      | _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  and number () =
+    if peek () = '-' then advance ();
+    while !pos < n && (match peek () with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false) do
+      advance ()
+    done
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then advance ()
+    else
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        if peek () = ',' then begin advance (); members () end else expect '}'
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = ']' then advance ()
+    else
+      let rec elements () =
+        value ();
+        skip_ws ();
+        if peek () = ',' then begin advance (); elements () end else expect ']'
+      in
+      elements ()
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then failwith "trailing garbage"
+
+(* ---------- traced recovery ---------- *)
+
+let traced_config =
+  {
+    Config.default with
+    Config.page_size = 1024;
+    pool_pages = 48;
+    delta_period = 40;
+    delta_capacity = 64;
+    tracing = true;
+    trace_capacity = 1 lsl 18;
+  }
+
+let small_spec = { Workload.default with Workload.rows = 1200; value_size = 16; seed = 5 }
+
+let make_crash () =
+  let driver = Driver.create ~config:traced_config small_spec in
+  Driver.run_crash_protocol driver ~checkpoints:3 ~interval:300 ~tail:15;
+  Driver.start_loser driver ~ops:8;
+  (driver, Driver.crash driver)
+
+let recover_traced image method_ =
+  let db, stats = Db.recover ~config:traced_config image method_ in
+  let tr =
+    match Engine.trace (Db.engine db) with
+    | Some tr -> tr
+    | None -> Alcotest.fail "tracing enabled in config but engine has no trace"
+  in
+  (db, stats, tr)
+
+let test_traced_recovery_deterministic () =
+  let _, image = make_crash () in
+  List.iter
+    (fun m ->
+      let _, _, tr1 = recover_traced image m in
+      let _, _, tr2 = recover_traced image m in
+      let j1 = Trace.to_chrome_json tr1 and j2 = Trace.to_chrome_json tr2 in
+      check
+        (Printf.sprintf "%s: same-seed traces byte-identical" (Recovery.method_to_string m))
+        true (String.equal j1 j2))
+    [ Recovery.Log2; Recovery.Sql2 ]
+
+let test_chrome_json_well_formed () =
+  let _, image = make_crash () in
+  let _, _, tr = recover_traced image Recovery.Log2 in
+  check "trace non-empty" true (Trace.length tr > 0);
+  check_int "nothing dropped at this scale" 0 (Trace.dropped tr);
+  let json = Trace.to_chrome_json tr in
+  (match validate_json json with
+  | () -> ()
+  | exception Failure msg -> Alcotest.failf "exported JSON malformed: %s" msg);
+  (* The export carries every buffered event plus the 7 lane-name records. *)
+  let count_occurrences needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i acc =
+      if i + nl > hl then acc
+      else if String.sub hay i nl = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  check_int "all events exported"
+    (Trace.length tr + 7)
+    (count_occurrences "\"name\":" json - count_occurrences "\"args\":{\"name\":" json)
+
+let test_spans_match_counters () =
+  let _, image = make_crash () in
+  List.iter
+    (fun m ->
+      let _, stats, tr = recover_traced image m in
+      check_int
+        (Printf.sprintf "%s: one page_fetch span per fetch" (Recovery.method_to_string m))
+        (stats.Recovery_stats.data_page_fetches + stats.Recovery_stats.index_page_fetches)
+        (Trace.count tr ~kind:Trace.Span ~name:"page_fetch" ());
+      check_int
+        (Printf.sprintf "%s: one redo_op span per candidate" (Recovery.method_to_string m))
+        stats.Recovery_stats.redo_candidates
+        (Trace.count tr ~kind:Trace.Span ~name:"redo_op" ());
+      List.iter
+        (fun phase ->
+          check_int
+            (Printf.sprintf "%s: exactly one %s phase span" (Recovery.method_to_string m) phase)
+            1
+            (Trace.count tr ~kind:Trace.Span ~name:phase ()))
+        [ "analysis"; "redo"; "undo" ])
+    [ Recovery.Log1; Recovery.Sql1 ]
+
+(* ---------- histograms ---------- *)
+
+let test_histogram_buckets () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~base:2.0 ~lo:1.0 ~buckets:4 "h" in
+  let bounds = Metrics.bucket_bounds h in
+  Alcotest.(check (array (float 1e-9))) "log-scale bounds" [| 1.0; 2.0; 4.0; 8.0 |] bounds;
+  (* A value exactly on a bound lands in that bound's bucket (<=); past the
+     last bound it lands in the overflow bucket. *)
+  check_int "at first bound" 0 (Metrics.bucket_of h 1.0);
+  check_int "just above first bound" 1 (Metrics.bucket_of h 1.5);
+  check_int "at last bound" 3 (Metrics.bucket_of h 8.0);
+  check_int "overflow" 4 (Metrics.bucket_of h 9.0);
+  List.iter (fun v -> Metrics.observe h v) [ 0.5; 1.0; 3.0; 8.0; 100.0 ];
+  Alcotest.(check (array int)) "counts per bucket" [| 2; 0; 1; 1; 1 |] (Metrics.bucket_counts h);
+  check_int "n" 5 (Metrics.observations h);
+  check "sum" true (abs_float (Metrics.sum h -. 112.5) < 1e-9)
+
+(* ---------- CSV quoting ---------- *)
+
+let test_csv_quoting () =
+  check_str "plain cells stay bare" "a,b\n1,2\n"
+    (Report.csv ~header:[ "a"; "b" ] ~rows:[ [ "1"; "2" ] ]);
+  check_str "comma cell quoted" "k,args\n1,\"pid=3,count=2\"\n"
+    (Report.csv ~header:[ "k"; "args" ] ~rows:[ [ "1"; "pid=3,count=2" ] ]);
+  check_str "embedded quotes doubled" "v\n\"say \"\"hi\"\"\"\n"
+    (Report.csv ~header:[ "v" ] ~rows:[ [ "say \"hi\"" ] ]);
+  (* Trace CSV rows with multi-key args survive the round of quoting. *)
+  let clock = ref 42.0 in
+  let tr = Trace.create ~now:(fun () -> !clock) ~capacity:8 () in
+  Trace.instant tr ~name:"io_batch" ~cat:"io" ~args:[ ("first_pid", 7); ("count", 3) ] ();
+  let csv = Report.csv ~header:Trace.csv_header ~rows:(Trace.csv_rows tr) in
+  check "args cell quoted in trace CSV" true
+    (String.length csv > 0
+    && Option.is_some
+         (String.index_opt csv '"'))
+
+let suite =
+  [
+    Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "same-seed determinism" `Quick test_traced_recovery_deterministic;
+    Alcotest.test_case "chrome JSON well-formed" `Quick test_chrome_json_well_formed;
+    Alcotest.test_case "spans match counters" `Quick test_spans_match_counters;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+  ]
