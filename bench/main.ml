@@ -66,6 +66,16 @@ let () =
   section "SPLIT-LOG LAYOUT (§4.2)";
   print_string (Figures.split_table split_rows);
 
+  (* Partitioned parallel redo: worker-count sweep at an IO-bound (small)
+     and an apply-bound (large) cache, with latency percentiles. *)
+  let workers_cache_sizes = if quick then [ 64 ] else [ 64; 512 ] in
+  let workers = if quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let workers_cells =
+    Figures.run_workers ~scale ~cache_sizes:workers_cache_sizes ~workers ~progress ()
+  in
+  section "PARALLEL REDO";
+  print_string (Figures.workers_table workers_cells);
+
   (* Bechamel micro-benchmarks: wall-clock cost of the engine's hot paths. *)
   section "MICRO-BENCHMARKS (Bechamel, wall clock)";
   print_string (Micro.run ())

@@ -30,6 +30,10 @@ let cache_sizes_arg =
     & opt (list int) [ 64; 128; 256; 512; 1024; 2048 ]
     & info [ "cache-sizes" ] ~docv:"MBS" ~doc)
 
+let workers_arg =
+  let doc = "Simulated parallel redo workers (overrides Config.redo_workers)." in
+  Arg.(value & opt (some int) None & info [ "w"; "workers" ] ~docv:"N" ~doc)
+
 let method_conv =
   let parse s =
     match String.lowercase_ascii s with
@@ -91,6 +95,23 @@ let splitlog_cmd =
     (Cmd.info "splitlog" ~doc:"Split-log layout (§4.2) vs the integrated prototype")
     Term.(const run $ scale_arg $ cache_arg)
 
+let workers_cmd =
+  let worker_counts_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8 ]
+      & info [ "counts" ] ~docv:"NS" ~doc:"Comma-separated worker counts to sweep.")
+  in
+  let run scale cache counts =
+    print_string
+      (Figures.workers_table
+         (Figures.run_workers ~scale ~cache_sizes:[ cache ] ~workers:counts ~progress ()))
+  in
+  Cmd.v
+    (Cmd.info "workers"
+       ~doc:"Parallel-redo sweep: redo time and latency percentiles per worker count")
+    Term.(const run $ scale_arg $ cache_arg $ worker_counts_arg)
+
 let crash_cmd =
   let methods_arg =
     Arg.(
@@ -106,7 +127,7 @@ let crash_cmd =
           ~doc:
             "Recover N times per method (fresh copies of the same image) and report redo time              mean ± stddev — the paper notes the high run-to-run variance of the prefetching              methods.")
   in
-  let run scale cache methods repeat =
+  let run scale cache methods repeat workers =
     progress (Printf.sprintf "building crash at cache %d MB, scale 1/%d" cache scale);
     let checkpoint_mode =
       if List.mem Recovery.Aries_ckpt methods then Deut_core.Config.Aries_fuzzy
@@ -122,7 +143,7 @@ let crash_cmd =
       crash.Experiment.deltas_total crash.Experiment.bws_total crash.Experiment.updates_run;
     List.iter
       (fun m ->
-        let stats = Experiment.run_method crash m in
+        let stats = Experiment.run_method ?workers crash m in
         Printf.printf "--- %s (verified against the oracle) ---\n%s\n"
           (Recovery.method_to_string m)
           (Recovery_stats.to_string stats);
@@ -131,7 +152,7 @@ let crash_cmd =
           Deut_sim.Stats.add acc (Recovery_stats.redo_ms stats);
           for _ = 2 to repeat do
             Deut_sim.Stats.add acc
-              (Recovery_stats.redo_ms (Experiment.run_method crash m))
+              (Recovery_stats.redo_ms (Experiment.run_method ?workers crash m))
           done;
           Printf.printf "redo over %d runs: %s ms\n" repeat (Deut_sim.Stats.summary acc)
         end;
@@ -140,7 +161,7 @@ let crash_cmd =
   in
   Cmd.v
     (Cmd.info "crash" ~doc:"One crash, recovered side-by-side with full per-method statistics")
-    Term.(const run $ scale_arg $ cache_arg $ methods_arg $ repeat_arg)
+    Term.(const run $ scale_arg $ cache_arg $ methods_arg $ repeat_arg $ workers_arg)
 
 let trace_cmd =
   let method_arg =
@@ -162,7 +183,7 @@ let trace_cmd =
       value & flag
       & info [ "csv" ] ~doc:"Also write the flat event list as CSV next to the JSON file.")
   in
-  let run scale cache method_ out emit_csv =
+  let run scale cache method_ out emit_csv workers =
     progress (Printf.sprintf "building crash at cache %d MB, scale 1/%d" cache scale);
     let checkpoint_mode =
       if method_ = Recovery.Aries_ckpt then Config.Aries_fuzzy else Config.Penultimate
@@ -171,6 +192,9 @@ let trace_cmd =
     let crash = Experiment.build setup in
     let config =
       { setup.Experiment.config with Config.tracing = true; trace_capacity = 1 lsl 20 }
+    in
+    let config =
+      match workers with None -> config | Some w -> { config with Config.redo_workers = w }
     in
     progress (Printf.sprintf "recovering with %s, tracing on" (Recovery.method_to_string method_));
     let db, stats = Db.recover ~config crash.Experiment.image method_ in
@@ -243,7 +267,7 @@ let trace_cmd =
          "Recover once with virtual-clock tracing on and export a Chrome trace_event JSON \
           (load it in chrome://tracing or Perfetto); validates span counts against \
           Recovery_stats.")
-    Term.(const run $ scale_arg $ cache_arg $ method_arg $ out_arg $ csv_arg)
+    Term.(const run $ scale_arg $ cache_arg $ method_arg $ out_arg $ csv_arg $ workers_arg)
 
 let () =
   let doc =
@@ -251,4 +275,6 @@ let () =
   in
   let info = Cmd.info "repro_cli" ~version:"1.0" ~doc in
   exit
-    (Cmd.eval (Cmd.group info [ fig2_cmd; fig3_cmd; appd_cmd; splitlog_cmd; crash_cmd; trace_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [ fig2_cmd; fig3_cmd; appd_cmd; splitlog_cmd; workers_cmd; crash_cmd; trace_cmd ]))

@@ -56,10 +56,11 @@ type t = {
   mutable writer_hand : int;
   mutable hooks : hooks;
   mutable cur_epoch : bool;
-  in_flight : (int, float) Hashtbl.t;
+  in_flight : (int, float * int) Hashtbl.t;  (* pid -> completion, issuing lane *)
   counters : counters;
   mutable trace : Deut_obs.Trace.t option;
   mutable stall_hist : Deut_obs.Metrics.histogram option;
+  mutable stall_track : int option;  (* trace lane override for stall spans *)
 }
 
 let dummy_page = Page.create ~page_size:Page.header_size ~pid:(-1) Page.Free
@@ -110,12 +111,14 @@ let create ~capacity ?(block_pages = 8) ?(lazy_writer_every = 0) ?(lazy_writer_m
       };
     trace = None;
     stall_hist = None;
+    stall_track = None;
   }
 
 let instrument t ?trace ?stall_hist () =
   t.trace <- trace;
   t.stall_hist <- stall_hist
 
+let set_stall_track t track = t.stall_track <- track
 let set_hooks t hooks = t.hooks <- hooks
 let capacity t = t.capacity
 let block_pages t = t.block_pages
@@ -142,7 +145,10 @@ let contains t pid = Hashtbl.mem t.by_pid pid
 let is_dirty t pid =
   match Hashtbl.find_opt t.by_pid pid with None -> false | Some slot -> t.frames.(slot).dirty
 
-let in_flight_count t = Hashtbl.length t.in_flight
+let in_flight_count ?lane t =
+  match lane with
+  | None -> Hashtbl.length t.in_flight
+  | Some l -> Hashtbl.fold (fun _ (_, l') n -> if l' = l then n + 1 else n) t.in_flight 0
 
 let flush_frame t f =
   t.hooks.ensure_stable ~tc_lsn:(Page.plsn f.page) ~dc_lsn:(Page.dc_plsn f.page);
@@ -251,8 +257,9 @@ let stall_until t completion =
     | None -> ());
     (match t.trace with
     | Some tr ->
-        Deut_obs.Trace.span tr ~name:"stall" ~cat:"cache" ~track:Deut_obs.Trace.track_cache
-          ~ts:now ~dur:(completion -. now) ()
+        let track = Option.value t.stall_track ~default:Deut_obs.Trace.track_cache in
+        Deut_obs.Trace.span tr ~name:"stall" ~cat:"cache" ~track ~ts:now
+          ~dur:(completion -. now) ()
     | None -> ());
     Clock.advance_to t.clock completion
   end
@@ -283,7 +290,7 @@ let get t ?(pin = false) pid =
         f
     | None -> (
         match Hashtbl.find_opt t.in_flight pid with
-        | Some completion ->
+        | Some (completion, _lane) ->
             (* The page was prefetched; wait (if needed) for that IO. *)
             let start = Clock.now t.clock in
             stall_until t completion;
@@ -359,7 +366,7 @@ let mark_dirty t ~pid ~lsn =
 let mark_dirty_dc t ~pid ~dc_lsn ~event_lsn =
   mark_dirty_common t ~pid ~stamp:(fun page -> Page.set_dc_plsn page dc_lsn) ~event_lsn
 
-let prefetch t pids =
+let prefetch t ?(lane = 0) pids =
   let wanted =
     List.filter (fun pid -> not (Hashtbl.mem t.by_pid pid || Hashtbl.mem t.in_flight pid)) pids
   in
@@ -375,7 +382,7 @@ let prefetch t pids =
      cheaper queued-seek cost. *)
   if accepted <> [] then begin
     let completion = Disk.submit_batch_read t.disk accepted in
-    List.iter (fun pid -> Hashtbl.replace t.in_flight pid completion) accepted;
+    List.iter (fun pid -> Hashtbl.replace t.in_flight pid (completion, lane)) accepted;
     t.counters.prefetch_issued <- t.counters.prefetch_issued + List.length accepted;
     match t.trace with
     | Some tr ->

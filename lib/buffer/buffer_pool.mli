@@ -115,14 +115,24 @@ val mark_dirty_dc : t -> pid:int -> dc_lsn:Deut_wal.Lsn.t -> event_lsn:Deut_wal.
     (the record's own LSN in the integrated layout; the TC end-of-stable-log
     under a separate DC log, so Δ-record rLSNs stay in one domain). *)
 
-val prefetch : t -> int list -> unit
+val prefetch : t -> ?lane:int -> int list -> unit
 (** Submit asynchronous reads for the pids not already cached or in flight,
     coalescing contiguous runs into block IOs.  Never evicts pinned frames;
     if the cache is too full to accept more in-flight pages, the remainder
     of the list is dropped (prefetch is best-effort, as in the paper where
-    over-eager prefetch just causes page swaps). *)
+    over-eager prefetch just causes page swaps).  [lane] (default 0) tags
+    the submitted pages with the issuing prefetch pipeline; parallel redo
+    gives each worker its own lane so per-worker windows can be gated
+    independently.  A page prefetched on any lane satisfies any [get]. *)
 
-val in_flight_count : t -> int
+val in_flight_count : ?lane:int -> t -> int
+(** Pages submitted but not yet claimed; with [lane], only those issued by
+    that pipeline. *)
+
+val set_stall_track : t -> int option -> unit
+(** Override the trace lane for subsequent [stall] spans ([None] restores
+    the cache track).  Parallel redo points this at the active worker's
+    lane so the trace shows which worker waited. *)
 
 val set_lazy_writer_enabled : t -> bool -> unit
 (** Recovery drivers switch the background writer off during their passes

@@ -72,6 +72,12 @@ type t = {
   prefetch_chunk : int;  (** pids submitted per top-up *)
   prefetch_lookahead : int;  (** SQL2 log read-ahead horizon, in records *)
   prefetch_source : prefetch_source;  (** Log2's data-prefetch driver (App. A.2) *)
+  redo_workers : int;
+      (** simulated parallel redo workers (1 = sequential replay).  Records
+          are applied in log order regardless, so recovery results are
+          identical for any count; workers only overlap CPU and page-fetch
+          stalls on the shared virtual clock.  Defaults from the
+          [DEUT_REDO_WORKERS] environment variable when set. *)
   log_layout : log_layout;  (** integrated (§5.1 prototype) or split (§4.2) *)
   locking : bool;
       (** strict 2PL key locks at the TC (no-wait conflicts), the minimal
@@ -90,6 +96,11 @@ type t = {
   trace_capacity : int;  (** trace ring-buffer size, in events *)
   seed : int;
 }
+
+let default_redo_workers =
+  match Sys.getenv_opt "DEUT_REDO_WORKERS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
+  | None -> 1
 
 let default =
   {
@@ -115,6 +126,7 @@ let default =
     prefetch_chunk = 16;
     prefetch_lookahead = 512;
     prefetch_source = Pf_list;
+    redo_workers = default_redo_workers;
     log_layout = Integrated;
     locking = false;
     group_commit = 1;

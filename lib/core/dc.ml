@@ -29,6 +29,7 @@ type t = {
   mutable ticks : int;
   merge_allowed : bool ref;
   trace : Trace.t option;
+  mutable redo_track : int option;  (* trace lane override for redo_op spans *)
 }
 
 let create ?trace ~config ~clock ~disk ~store ~pool ~dc_log ~tc_force_upto () =
@@ -68,6 +69,7 @@ let create ?trace ~config ~clock ~disk ~store ~pool ~dc_log ~tc_force_upto () =
       ticks = 0;
       merge_allowed = ref true;
       trace;
+      redo_track = None;
     }
   in
   Pool.set_hooks pool
@@ -355,11 +357,14 @@ let fetch_and_test_then_apply t ~lsn ~view ~pid ~(stats : Recovery_stats.cells) 
 let note_redo_op t ~lsn ~pid ~ts0 =
   match t.trace with
   | Some tr ->
-      Trace.span tr ~name:"redo_op" ~cat:"recovery" ~track:Trace.track_recovery ~ts:ts0
+      let track = Option.value t.redo_track ~default:Trace.track_recovery in
+      Trace.span tr ~name:"redo_op" ~cat:"recovery" ~track ~ts:ts0
         ~dur:(Clock.now t.clock -. ts0)
         ~args:[ ("lsn", lsn); ("pid", pid) ]
         ()
   | None -> ()
+
+let set_redo_track t track = t.redo_track <- track
 
 let redo_logical t ~lsn ~(view : Lr.redo_view) ~use_dpt ~(stats : Recovery_stats.cells) =
   Metrics.incr stats.Recovery_stats.redo_candidates;

@@ -90,6 +90,11 @@ val tick_update : t -> unit
 val set_merge_allowed : t -> bool -> unit
 (** Gate the B-trees' opportunistic leaf merging (off during redo). *)
 
+val set_redo_track : t -> int option -> unit
+(** Override the trace lane for subsequent [redo_op] spans ([None] restores
+    the recovery track).  Parallel redo points this at the active worker's
+    lane before each record so the trace shows per-worker replay. *)
+
 (** {2 Recovery} *)
 
 val dc_recovery :

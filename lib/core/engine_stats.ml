@@ -9,6 +9,10 @@
 
 module Metrics = Deut_obs.Metrics
 
+type latency = { n : int; p50_us : float; p95_us : float; p99_us : float }
+(** Percentiles of a latency histogram, quantised to its log-scale bucket
+    bounds; all zero when nothing was observed. *)
+
 type t = {
   (* cache *)
   cache_capacity : int;
@@ -23,11 +27,14 @@ type t = {
   prefetch_hits : int;
   stalls : int;
   stall_ms : float;
+  stall_wait : latency;  (** cache.stall_wait_us percentiles *)
   (* data disk *)
   data_pages_read : int;
   data_pages_written : int;
   data_seeks : int;
   data_sequential : int;
+  data_io : latency;  (** disk.data.io_us percentiles *)
+  log_io : latency;  (** disk.log.io_us percentiles *)
   (* logs *)
   split_logs : bool;
   tc_log_records : int;
@@ -52,6 +59,17 @@ let capture (engine : Engine.t) =
   let m = Engine.metrics engine in
   let gi name = Metrics.read_int m name in
   let gf name = Metrics.read m name in
+  let latency name =
+    match Metrics.find_histogram m name with
+    | Some h ->
+        {
+          n = Metrics.observations h;
+          p50_us = Metrics.percentile h 50.0;
+          p95_us = Metrics.percentile h 95.0;
+          p99_us = Metrics.percentile h 99.0;
+        }
+    | None -> { n = 0; p50_us = 0.0; p95_us = 0.0; p99_us = 0.0 }
+  in
   (* Read every gauge before [tables] below touches the cache (listing the
      catalog) and perturbs the counters being reported. *)
   let cache_capacity = gi "cache.capacity"
@@ -97,10 +115,13 @@ let capture (engine : Engine.t) =
     prefetch_hits;
     stalls;
     stall_ms = stall_us /. 1000.0;
+    stall_wait = latency "cache.stall_wait_us";
     data_pages_read;
     data_pages_written;
     data_seeks;
     data_sequential;
+    data_io = latency "disk.data.io_us";
+    log_io = latency "disk.log.io_us";
     split_logs = Engine.split engine;
     tc_log_records;
     tc_log_bytes;
@@ -129,6 +150,14 @@ let to_string t =
     t.evictions t.flushes t.prefetch_issued t.prefetch_hits t.stalls t.stall_ms;
   line "data disk:  %d pages read, %d written; %d seeks, %d sequential" t.data_pages_read
     t.data_pages_written t.data_seeks t.data_sequential;
+  let lat name (l : latency) =
+    if l.n > 0 then
+      line "%s  n %d, p50 %.0f µs, p95 %.0f µs, p99 %.0f µs (bucket upper bounds)" name l.n
+        l.p50_us l.p95_us l.p99_us
+  in
+  lat "  io lat:   " t.data_io;
+  lat "  log lat:  " t.log_io;
+  lat "  stall lat:" t.stall_wait;
   line "tc log:     %d records, %d bytes (%d retained), %d forces" t.tc_log_records
     t.tc_log_bytes t.tc_log_retained_bytes t.tc_log_forces;
   if t.split_logs then

@@ -145,7 +145,7 @@ let aries_analysis log ~from ~(stats : Recovery_stats.cells) =
    deduplicated DirtySets in update order, skipping entries since pruned
    from the DPT) or the DPT itself in ascending rLSN order (the discussed
    alternative). *)
-let make_pf_prefetcher dc =
+let make_pf_prefetcher dc ~lane ~workers =
   let pf =
     match (Dc.config dc).Config.prefetch_source with
     | Config.Pf_list -> Dc.pf_list dc
@@ -153,12 +153,17 @@ let make_pf_prefetcher dc =
   in
   let pool = Dc.pool dc in
   let config = Dc.config dc in
-  let pos = ref 0 in
+  (* Each worker owns a contiguous segment of the PF list: segments keep
+     the list's update-order locality, so per-worker batches still coalesce
+     on the disk the way the single sequential pipeline's did. *)
+  let len = Array.length pf in
+  let hi = len * (lane + 1) / workers in
+  let pos = ref (len * lane / workers) in
   fun () ->
-    if Pool.in_flight_count pool < config.Config.prefetch_window then begin
+    if Pool.in_flight_count ~lane pool < config.Config.prefetch_window then begin
       let chunk = ref [] in
       let picked = ref 0 in
-      while !picked < config.Config.prefetch_chunk && !pos < Array.length pf do
+      while !picked < config.Config.prefetch_chunk && !pos < hi do
         let pid = pf.(!pos) in
         incr pos;
         if Dpt.mem (Dc.dpt dc) pid then begin
@@ -166,60 +171,166 @@ let make_pf_prefetcher dc =
           incr picked
         end
       done;
-      if !chunk <> [] then Pool.prefetch pool (List.rev !chunk)
+      if !chunk <> [] then Pool.prefetch pool ~lane (List.rev !chunk)
     end
 
 (* Log-driven prefetch for SQL2 (Appendix A.2): examine records ahead of
-   the redo cursor; pids that pass the DPT/rLSN test are prefetched. *)
-let make_log_prefetcher dc (records : (Lsn.t * Lr.t) array) =
+   the redo cursor; pids that pass the DPT/rLSN test are prefetched.
+   [owns] restricts the window to the records this worker will replay. *)
+let make_log_prefetcher dc ~lane ?owns (records : (Lsn.t * Lr.t) array) =
   let pool = Dc.pool dc in
   let config = Dc.config dc in
   let ahead = ref 0 in
   fun current_index ->
-    if Pool.in_flight_count pool < config.Config.prefetch_window then begin
+    if Pool.in_flight_count ~lane pool < config.Config.prefetch_window then begin
       if !ahead <= current_index then ahead := current_index + 1;
       let horizon = min (Array.length records) (current_index + config.Config.prefetch_lookahead) in
       let chunk = ref [] in
       let picked = ref 0 in
       while !picked < config.Config.prefetch_chunk && !ahead < horizon do
-        let lsn, record = records.(!ahead) in
+        let i = !ahead in
+        let lsn, record = records.(i) in
         incr ahead;
-        (match Lr.redo_view record with
-        | Some view -> (
-            match Dpt.find (Dc.dpt dc) view.Lr.rv_pid with
-            | Some (rlsn, _) when lsn >= rlsn ->
-                chunk := view.Lr.rv_pid :: !chunk;
-                incr picked
-            | Some _ | None -> ())
-        | None -> ())
+        if match owns with None -> true | Some f -> f i then
+          match Lr.redo_view record with
+          | Some view -> (
+              match Dpt.find (Dc.dpt dc) view.Lr.rv_pid with
+              | Some (rlsn, _) when lsn >= rlsn ->
+                  chunk := view.Lr.rv_pid :: !chunk;
+                  incr picked
+              | Some _ | None -> ())
+          | None -> ()
       done;
-      if !chunk <> [] then Pool.prefetch pool (List.rev !chunk)
+      if !chunk <> [] then Pool.prefetch pool ~lane (List.rev !chunk)
     end
 
+(* Record-to-worker assignment.  Physiological methods partition by page
+   id; logical methods slice each table's observed key range into
+   [workers] contiguous bands (a table offset spreads small tables).  The
+   assignment only decides whose simulated time a record is charged to —
+   application always happens in log order. *)
+let make_partitioner method_ ~workers (records : (Lsn.t * Lr.t) array) =
+  if not (is_logical method_) then fun (v : Lr.redo_view) -> v.Lr.rv_pid mod workers
+  else begin
+    let ranges = Hashtbl.create 8 in
+    Array.iter
+      (fun (_, record) ->
+        match Lr.redo_view record with
+        | Some v ->
+            let lo, hi =
+              match Hashtbl.find_opt ranges v.Lr.rv_table with
+              | Some (lo, hi) -> (min lo v.Lr.rv_key, max hi v.Lr.rv_key)
+              | None -> (v.Lr.rv_key, v.Lr.rv_key)
+            in
+            Hashtbl.replace ranges v.Lr.rv_table (lo, hi)
+        | None -> ())
+      records;
+    fun (v : Lr.redo_view) ->
+      match Hashtbl.find_opt ranges v.Lr.rv_table with
+      | None -> 0
+      | Some (lo, hi) ->
+          let band = (v.Lr.rv_key - lo) * workers / (hi - lo + 1) in
+          (min band (workers - 1) + v.Lr.rv_table) mod workers
+  end
+
+(* Replay the materialised redo range on [Config.redo_workers] simulated
+   workers.  Records are processed in global log order; each is charged to
+   its partition's worker by rewinding the shared clock to that worker's
+   time cursor ([Clock.set]) before replaying it.  The disk keeps its own
+   monotonic busy horizon, so IO requests from workers at earlier cursors
+   still queue behind in-flight service — contention on the single device
+   is preserved — while CPU charges and page-fetch stalls on different
+   workers overlap.  Because application order is log order regardless of
+   the partitioning, the recovered state and the apply-count statistics
+   are identical for every worker count; with one worker the loop is
+   exactly the sequential pass.  SMO records barrier: every worker joins
+   (clock = max cursor) before the page images are installed, and all
+   cursors restart from the completed replay. *)
 let redo_pass method_ (engine : Engine.t) (scan : scan_result) ~(stats : Recovery_stats.cells) =
   let dc = engine.Engine.dc in
-  let prefetch_pf = if method_ = Log2 then Some (make_pf_prefetcher dc) else None in
-  let prefetch_log = if method_ = Sql2 then Some (make_log_prefetcher dc scan.records) else None in
+  let clock = engine.Engine.clock in
+  let pool = Dc.pool dc in
+  let workers = max 1 (Dc.config dc).Config.redo_workers in
+  let records = scan.records in
+  let assign = Array.make (Array.length records) (-1) in
+  let partition = make_partitioner method_ ~workers records in
+  Array.iteri
+    (fun i (_, record) ->
+      match Lr.redo_view record with Some v -> assign.(i) <- partition v | None -> ())
+    records;
+  let parallel = workers > 1 in
+  let cursors = Array.make workers (Clock.now clock) in
+  let enter w =
+    if parallel then begin
+      Clock.set clock cursors.(w);
+      Pool.set_stall_track pool (Some (Trace.track_worker w));
+      Dc.set_redo_track dc (Some (Trace.track_worker w))
+    end
+  in
+  let leave w = if parallel then cursors.(w) <- Clock.now clock in
+  let barrier () =
+    if parallel then Clock.set clock (Array.fold_left max cursors.(0) cursors)
+  in
+  let release_all () = if parallel then Array.fill cursors 0 workers (Clock.now clock) in
+  let prefetch_pf =
+    if method_ = Log2 then
+      Some (Array.init workers (fun lane -> make_pf_prefetcher dc ~lane ~workers))
+    else None
+  in
+  let prefetch_log =
+    if method_ = Sql2 then
+      Some
+        (Array.init workers (fun lane ->
+             let owns = if parallel then Some (fun i -> assign.(i) = lane) else None in
+             make_log_prefetcher dc ~lane ?owns records))
+    else None
+  in
+  let pump w i =
+    (match prefetch_pf with Some fs -> fs.(w) () | None -> ());
+    match prefetch_log with Some fs -> fs.(w) i | None -> ()
+  in
   Array.iteri
     (fun i (lsn, record) ->
       Metrics.incr stats.Recovery_stats.records_scanned;
-      (match prefetch_pf with Some f -> f () | None -> ());
-      (match prefetch_log with Some f -> f i | None -> ());
       match record with
-      | Lr.Smo smo ->
-          (* Logical methods replayed SMOs in the DC pass; physiological
-             redo replays them in log order under the DPT test. *)
-          if not (is_logical method_) then Dc.redo_smo dc ~lsn ~smo ~dpt_test:true ~stats
+      | Lr.Smo smo when not (is_logical method_) ->
+          (* Physiological redo replays SMOs in log order under the DPT
+             test; the multi-page image is a cross-partition write, so all
+             workers synchronise around it. *)
+          barrier ();
+          pump (i mod workers) i;
+          Dc.redo_smo dc ~lsn ~smo ~dpt_test:true ~stats;
+          release_all ()
+      | Lr.Smo _ ->
+          (* Logical methods replayed SMOs in the DC pass. *)
+          let w = i mod workers in
+          enter w;
+          pump w i;
+          leave w
       | _ -> (
           match Lr.redo_view record with
-          | None -> ()
-          | Some view -> (
-              match method_ with
+          | None ->
+              let w = i mod workers in
+              enter w;
+              pump w i;
+              leave w
+          | Some view ->
+              let w = assign.(i) in
+              enter w;
+              pump w i;
+              (match method_ with
               | Log0 -> Dc.redo_logical dc ~lsn ~view ~use_dpt:false ~stats
               | Log1 | Log2 -> Dc.redo_logical dc ~lsn ~view ~use_dpt:true ~stats
-              | Sql1 | Sql2 | Aries_ckpt -> Dc.redo_physiological dc ~lsn ~view ~use_dpt:true ~stats
-              )))
-    scan.records
+              | Sql1 | Sql2 | Aries_ckpt ->
+                  Dc.redo_physiological dc ~lsn ~view ~use_dpt:true ~stats);
+              leave w))
+    records;
+  (* Redo completes when the slowest worker does. *)
+  barrier ();
+  if parallel then begin
+    Pool.set_stall_track pool None;
+    Dc.set_redo_track dc None
+  end
 
 let recover ?config ?undo_fault_after_clrs image method_ =
   let engine = Crash_image.instantiate ?config image in

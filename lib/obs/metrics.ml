@@ -87,6 +87,25 @@ let observe h x =
   h.h_n <- h.h_n + 1;
   h.h_sum <- h.h_sum +. x
 
+let percentile h p =
+  if h.h_n = 0 then 0.0
+  else begin
+    let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+    let target = p /. 100.0 *. float_of_int h.h_n in
+    let nb = Array.length h.bounds in
+    let rec go i cum =
+      if i > nb then h.bounds.(nb - 1)
+      else
+        let cum = cum + h.counts.(i) in
+        if float_of_int cum >= target && h.counts.(i) > 0 then
+          (* Overflow bucket has no finite upper bound; report the largest
+             finite one — a known-conservative floor. *)
+          if i < nb then h.bounds.(i) else h.bounds.(nb - 1)
+        else go (i + 1) cum
+    in
+    go 0 0
+  end
+
 let count c = c.c
 let value d = d.d
 let bucket_bounds h = Array.copy h.bounds
@@ -103,6 +122,11 @@ let read t name =
   | None -> raise Not_found
 
 let read_int t name = truncate (read t name)
+
+let find_histogram t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Histogram h) -> Some h
+  | _ -> None
 let mem t name = Hashtbl.mem t.by_name name
 let names t = List.rev t.order
 

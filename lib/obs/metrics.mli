@@ -59,6 +59,12 @@ val bucket_counts : histogram -> int array
 val observations : histogram -> int
 val sum : histogram -> float
 
+val percentile : histogram -> float -> float
+(** [percentile h p] for [p] in [0, 100]: the upper bound of the first
+    bucket at which the cumulative count reaches [p]% of observations —
+    an upper estimate quantised to the bucket grid.  Observations in the
+    overflow bucket report the largest finite bound.  0 when empty. *)
+
 val read : t -> string -> float
 (** Current value by name: counters as floats, dials as-is, gauges by
     calling their closure, histograms as their running sum.
@@ -68,6 +74,10 @@ val read_int : t -> string -> int
 (** [truncate (read t name)]. *)
 
 val mem : t -> string -> bool
+
+val find_histogram : t -> string -> histogram option
+(** The histogram registered under [name], if any ([None] also when the
+    name holds a different kind of instrument). *)
 
 val names : t -> string list
 (** All registered names, in registration order. *)

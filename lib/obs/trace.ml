@@ -27,6 +27,7 @@ let track_log_disk = 3
 let track_dc_log_disk = 4
 let track_wal = 5
 let track_monitor = 6
+let track_worker w = 7 + w
 
 let track_name = function
   | 0 -> "recovery"
@@ -36,6 +37,7 @@ let track_name = function
   | 4 -> "dc-log-disk"
   | 5 -> "wal"
   | 6 -> "monitor"
+  | n when n >= 7 -> "redo-worker-" ^ string_of_int (n - 7)
   | n -> "track-" ^ string_of_int n
 
 let dummy =
@@ -116,14 +118,21 @@ let to_chrome_json t =
     if !first then first := false else Buffer.add_char buf ',';
     Buffer.add_string buf s
   in
-  (* Thread-name metadata so Perfetto labels the lanes. *)
-  for tid = 0 to 6 do
-    emit
-      (Printf.sprintf
-         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
-         tid (track_name tid))
-  done;
-  List.iter (fun ev -> emit (event_json ev)) (events t);
+  (* Thread-name metadata so Perfetto labels the lanes: the seven fixed
+     lanes plus any per-worker lane actually present in the events. *)
+  let evs = events t in
+  let extra =
+    List.sort_uniq compare
+      (List.filter_map (fun ev -> if ev.track > 6 then Some ev.track else None) evs)
+  in
+  List.iter
+    (fun tid ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           tid (track_name tid)))
+    (List.init 7 Fun.id @ extra);
+  List.iter (fun ev -> emit (event_json ev)) evs;
   Buffer.add_string buf "]}";
   Buffer.contents buf
 

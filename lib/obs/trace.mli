@@ -39,6 +39,11 @@ val track_wal : int  (** log manager: forces *)
 
 val track_monitor : int  (** TC/DC monitor: delta / BW emission *)
 
+val track_worker : int -> int
+(** [track_worker w] is the lane for simulated redo worker [w] (lanes 7+).
+    Parallel replay routes each worker's [redo_op] and [stall] spans here
+    so a trace shows per-worker IO overlap. *)
+
 val track_name : int -> string
 
 (** {1 Recording} *)

@@ -9,4 +9,9 @@ let advance t us =
   t.now_us <- t.now_us +. us
 
 let advance_to t deadline = if deadline > t.now_us then t.now_us <- deadline
+
+let set t us =
+  if us < 0.0 then invalid_arg "Clock.set: negative time";
+  t.now_us <- us
+
 let reset t = t.now_us <- 0.0

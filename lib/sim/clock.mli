@@ -24,5 +24,12 @@ val advance_to : t -> float -> unit
     in the future; otherwise does nothing.  Used to model waiting for an
     asynchronous IO completion. *)
 
+val set : t -> float -> unit
+(** [set t us] moves the clock to an absolute time, backward included.
+    Parallel replay multiplexes several worker timelines onto the one
+    clock: switching to a worker rewinds to that worker's cursor, while
+    shared resources (the disk's busy horizon) keep their own monotonic
+    state.  Negative times are rejected with [Invalid_argument]. *)
+
 val reset : t -> unit
 (** Rewind to time 0 (used when re-running recovery from a crash image). *)

@@ -73,11 +73,22 @@ let busy_until t = Float.max t.free_at (Clock.now t.clock)
 
 (* Core queueing step: a request for [count] pages starting at [first_pid]
    begins when the disk is free, pays a seek unless it continues the previous
-   transfer, and transfers each page.  Returns the completion time. *)
+   transfer, and transfers each page.  A request that arrives while the
+   device is still busy joins a non-empty queue, so the head schedules it
+   like a batch member and its positioning costs [batch_seek_factor ×
+   seek_us]; an arrival at an idle device (queue depth 0 — every synchronous
+   miss path, since the caller stalled to the previous completion) pays the
+   full cold seek.  Returns the completion time. *)
 let submit t ~first_pid ~count =
-  let start = Float.max t.free_at (Clock.now t.clock) in
+  let now = Clock.now t.clock in
+  let queued = t.free_at > now in
+  let start = if queued then t.free_at else now in
   let sequential = abs (first_pid - t.head_pos) <= t.params.sequential_gap in
-  let seek = if sequential then 0.0 else t.params.seek_us in
+  let seek =
+    if sequential then 0.0
+    else if queued then t.params.seek_us *. t.params.batch_seek_factor
+    else t.params.seek_us
+  in
   let completion = start +. seek +. (float_of_int count *. t.params.transfer_us) in
   t.free_at <- completion;
   t.head_pos <- first_pid + count;

@@ -15,10 +15,12 @@ type params = {
       (** accesses within this many pids of the end of the previous request
           are treated as sequential (no seek) *)
   batch_seek_factor : float;
-      (** seek-cost multiplier for pages inside one sorted asynchronous
-          batch: with a deep queue the disk services requests in elevator
-          order, so per-request positioning is cheaper than a cold random
-          seek.  1.0 disables the effect. *)
+      (** seek-cost multiplier for elevator-scheduled positioning: pages
+          inside one sorted asynchronous batch, and any request that arrives
+          while the device is still busy (a non-empty queue lets the head
+          schedule the next access rather than seek cold).  A request
+          arriving at an idle device always pays the full [seek_us].
+          1.0 disables the effect. *)
 }
 
 val default_params : params

@@ -20,6 +20,7 @@ type t = {
   mutable forces : int;
   mutable read_disk : Deut_sim.Disk.t option;
   mutable trace : Deut_obs.Trace.t option;
+  mutable on_append : (int -> unit) option;
 }
 
 let create ~page_size =
@@ -34,7 +35,10 @@ let create ~page_size =
     forces = 0;
     read_disk = None;
     trace = None;
+    on_append = None;
   }
+
+let set_append_hook t hook = t.on_append <- hook
 
 let instrument t ?trace () = t.trace <- trace
 
@@ -74,6 +78,7 @@ let append t record =
   Bytes.set_int32_be t.data (off + 4) (Int32.of_int crc);
   t.len <- t.len + frame;
   t.records <- t.records + 1;
+  (match t.on_append with Some f -> f lsn | None -> ());
   lsn
 
 let force t =
@@ -166,6 +171,24 @@ let crash t =
     forces = 0;
     read_disk = None;
     trace = None;
+    on_append = None;
+  }
+
+let crash_at t lsn =
+  if lsn < t.base || lsn > t.len then
+    invalid_arg
+      (Printf.sprintf "Log_manager.crash_at: boundary %d outside [%d,%d]" lsn t.base t.len);
+  {
+    page_size = t.page_size;
+    base = t.base;
+    data = Bytes.sub t.data 0 (lsn - t.base);
+    len = lsn;
+    stable = lsn;
+    records = 0;
+    forces = 0;
+    read_disk = None;
+    trace = None;
+    on_append = None;
   }
 
 let compact t ~keep_from =

@@ -22,6 +22,13 @@ val page_size : t -> int
 val append : t -> Log_record.t -> Lsn.t
 (** Append to the volatile tail; returns the record's LSN. *)
 
+val set_append_hook : t -> (Lsn.t -> unit) option -> unit
+(** Observe appends: the hook runs after each record is framed (so
+    [end_lsn] is the boundary just past it), receiving the record's LSN.
+    Used by the crash-point test harness to capture an image at every
+    record boundary; [None] detaches.  Copies made by [crash] /
+    [crash_at] never inherit the hook. *)
+
 val end_lsn : t -> Lsn.t
 (** Offset just past the last appended byte (the next record's LSN). *)
 
@@ -67,6 +74,13 @@ val fold : t -> from:Lsn.t -> ?upto:Lsn.t -> init:'a -> ('a -> Lsn.t -> Log_reco
 val crash : t -> t
 (** The log as a recovering system sees it: a deep copy truncated to the
     stable prefix, with no disk attached. *)
+
+val crash_at : t -> Lsn.t -> t
+(** [crash] truncated at an arbitrary record boundary instead of the
+    stable prefix: what recovery would see had the crash hit when exactly
+    the bytes in [\[base, lsn)] were durable.  The boundary must come from
+    an append (e.g. via [set_append_hook]); raises [Invalid_argument] when
+    outside [\[base_lsn, end_lsn\]]. *)
 
 val base_lsn : t -> Lsn.t
 (** Offset of the oldest retained byte; earlier bytes were archived by

@@ -107,14 +107,26 @@ let build scaled =
   in
   run
 
-let run_method run method_ =
-  let recovered, stats = Db.recover run.image method_ in
+let recover_verified ?workers run method_ =
+  let config =
+    Option.map
+      (fun w -> { run.image.Deut_core.Crash_image.config with Config.redo_workers = w })
+      workers
+  in
+  let recovered, stats = Db.recover ?config run.image method_ in
+  (* Snapshot the engine before verification: the oracle scan below does
+     thousands of its own page fetches, which would swamp the recovery-time
+     IO and stall histograms. *)
+  let engine = Deut_core.Engine_stats.capture (Db.engine recovered) in
   (match Driver.verify_recovered run.driver recovered with
   | Ok () -> ()
   | Error msg ->
       failwith
         (Printf.sprintf "recovery with %s produced wrong state: %s"
            (Recovery.method_to_string method_) msg));
-  stats
+  (recovered, engine, stats)
 
+let run_method ?workers run method_ =
+  let _, _, stats = recover_verified ?workers run method_ in
+  stats
 let run_all run methods = List.map (fun m -> (m, run_method run m)) methods

@@ -52,10 +52,21 @@ val build : scaled -> crash_run
     uncommitted transaction, crash. *)
 
 val run_method :
-  crash_run -> Deut_core.Recovery.method_ -> Deut_core.Recovery_stats.t
+  ?workers:int -> crash_run -> Deut_core.Recovery.method_ -> Deut_core.Recovery_stats.t
 (** Recover with the given method from (a copy of) the shared image and
     verify the result against the oracle; raises [Failure] on divergence —
-    a benchmark must never report timings for an incorrect recovery. *)
+    a benchmark must never report timings for an incorrect recovery.
+    [workers] overrides [Config.redo_workers] for this recovery. *)
+
+val recover_verified :
+  ?workers:int ->
+  crash_run ->
+  Deut_core.Recovery.method_ ->
+  Deut_core.Db.t * Deut_core.Engine_stats.t * Deut_core.Recovery_stats.t
+(** [run_method] that also returns the recovered database and an engine
+    snapshot taken {e before} oracle verification, so the IO and stall
+    latency histograms reflect recovery alone (verification's own page
+    fetches would otherwise dominate them). *)
 
 val run_all :
   crash_run ->

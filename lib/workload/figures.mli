@@ -96,3 +96,28 @@ val run_split :
     §4.2's claim that the DC redo/analysis pass scans a much smaller log. *)
 
 val split_table : split_row list -> string
+
+(** One (cache size, method, worker count) cell of the parallel-redo sweep. *)
+type workers_cell = {
+  w_cache_mb : int;
+  w_method : Deut_core.Recovery.method_;
+  w_count : int;  (** [Config.redo_workers] used for this recovery *)
+  w_stats : Deut_core.Recovery_stats.t;
+  w_engine : Deut_core.Engine_stats.t;  (** post-recovery engine snapshot (latency percentiles) *)
+}
+
+val run_workers :
+  ?scale:int ->
+  ?cache_sizes:int list ->
+  ?workers:int list ->
+  ?methods:Deut_core.Recovery.method_ list ->
+  ?progress:(string -> unit) ->
+  unit ->
+  workers_cell list
+(** One crash per cache size, recovered with every (method, worker count)
+    pair; every recovery is oracle-verified.  Defaults: scale 64, caches
+    {64, 512} MB, workers {1, 2, 4, 8}, the paper's five methods. *)
+
+val workers_table : workers_cell list -> string
+(** Redo time, speedup vs one worker, and stall / data-IO latency
+    percentiles per (cache, method, workers) row. *)

@@ -16,4 +16,6 @@ let () =
       ("split-log", Test_split_log.suite);
       ("locks", Test_locks.suite);
       ("trace", Test_trace.suite);
+      ("crash-points", Test_crash_points.suite);
+      ("parallel-redo", Test_parallel_redo.suite);
     ]

@@ -1,0 +1,188 @@
+(* Crash-point recovery equivalence: capture a crash image at EVERY log
+   record boundary of a seeded workload and recover each with every method,
+   asserting the recovered B-tree equals the committed prefix of the log,
+   key for key.
+
+   Images are captured at append time (store clone + log truncated at the
+   boundary) because truncating the final log after the fact is unsound:
+   later flushes put post-boundary page images in the stable store, and the
+   undo information for them would be missing from the prefix. *)
+
+module Db = Deut_core.Db
+module Config = Deut_core.Config
+module Engine = Deut_core.Engine
+module Tc = Deut_core.Tc
+module Recovery = Deut_core.Recovery
+module Crash_image = Deut_core.Crash_image
+module Lr = Deut_wal.Log_record
+module Lsn = Deut_wal.Lsn
+module Log = Deut_wal.Log_manager
+module Page_store = Deut_storage.Page_store
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let table = 1
+
+let small_config =
+  {
+    Config.default with
+    Config.page_size = 1024;
+    pool_pages = 32;
+    delta_period = 10;
+    delta_capacity = 64;
+  }
+
+let ok = function Ok () -> () | Error msg -> Alcotest.fail msg
+let value gen k = Printf.sprintf "v%d.%d" gen k
+
+(* Deterministic workload touching every record type the log can carry:
+   auto-commit load, multi-op transactions, B-tree splits (SMO records), a
+   checkpoint straddled by activity, an abort (CLRs), deletes, and an
+   uncommitted loser at the end. *)
+let run_workload db =
+  for k = 0 to 15 do
+    Db.put db ~table ~key:k ~value:(value 0 k)
+  done;
+  let t1 = Db.begin_txn db in
+  for k = 0 to 4 do
+    ok (Db.update db t1 ~table ~key:k ~value:(value 1 k))
+  done;
+  Db.commit db t1;
+  let t2 = Db.begin_txn db in
+  for k = 100 to 104 do
+    ok (Db.insert db t2 ~table ~key:k ~value:(value 2 k))
+  done;
+  Db.commit db t2;
+  Db.checkpoint db;
+  let t3 = Db.begin_txn db in
+  for k = 5 to 9 do
+    ok (Db.update db t3 ~table ~key:k ~value:(value 3 k))
+  done;
+  Db.abort db t3;
+  let t4 = Db.begin_txn db in
+  ok (Db.delete db t4 ~table ~key:1);
+  ok (Db.delete db t4 ~table ~key:3);
+  Db.commit db t4;
+  let t5 = Db.begin_txn db in
+  ok (Db.update db t5 ~table ~key:2 ~value:(value 5 2));
+  ok (Db.insert db t5 ~table ~key:105 ~value:(value 5 105));
+  ok (Db.delete db t5 ~table ~key:0);
+  Db.commit db t5;
+  Db.checkpoint db;
+  let t6 = Db.begin_txn db in
+  for k = 10 to 14 do
+    ok (Db.update db t6 ~table ~key:k ~value:(value 6 k))
+  done;
+  Db.commit db t6;
+  (* Loser: updates that must NOT survive any crash boundary. *)
+  let t7 = Db.begin_txn db in
+  ok (Db.update db t7 ~table ~key:4 ~value:"loser4");
+  ok (Db.insert db t7 ~table ~key:106 ~value:"loser106")
+
+(* Build the workload with an append hook that snapshots a crash image at
+   every record boundary; returns images oldest-first. *)
+let build_images () =
+  let db = Db.create ~config:small_config () in
+  Db.create_table db ~table;
+  let engine = Db.engine db in
+  let log = engine.Engine.log in
+  let images = ref [] in
+  Log.set_append_hook log
+    (Some
+       (fun _lsn ->
+         let boundary = Log.end_lsn log in
+         images :=
+           {
+             Crash_image.config = engine.Engine.config;
+             store = Page_store.clone engine.Engine.store;
+             log = Log.crash_at log boundary;
+             dc_log = None;
+             master = Tc.master engine.Engine.tc;
+           }
+           :: !images));
+  let records_before = Db.log_record_count db in
+  run_workload db;
+  Log.set_append_hook log None;
+  (Db.log_record_count db - records_before, List.rev !images)
+
+(* The committed state a prefix of the log implies: buffer each
+   transaction's operations in order, fold them into the committed map on
+   Commit, drop them on Abort.  CLRs are ignored — a loser's updates and
+   its compensations net to nothing. *)
+let expected_of_log log =
+  let committed = Hashtbl.create 64 in
+  let pending = Hashtbl.create 8 in
+  Log.iter log ~from:Lsn.nil (fun _lsn record ->
+      match record with
+      | Lr.Update_rec u when u.Lr.table = table ->
+          let prior = Option.value (Hashtbl.find_opt pending u.Lr.txn) ~default:[] in
+          Hashtbl.replace pending u.Lr.txn ((u.Lr.key, u.Lr.after) :: prior)
+      | Lr.Commit { txn } ->
+          List.iter
+            (fun (k, after) ->
+              match after with
+              | Some v -> Hashtbl.replace committed k v
+              | None -> Hashtbl.remove committed k)
+            (List.rev (Option.value (Hashtbl.find_opt pending txn) ~default:[]));
+          Hashtbl.remove pending txn
+      | Lr.Abort { txn } -> Hashtbl.remove pending txn
+      | Lr.Update_rec _ | Lr.Clr _ | Lr.Begin_ckpt | Lr.End_ckpt _ | Lr.Aries_ckpt_dpt _
+      | Lr.Bw _ | Lr.Delta _ | Lr.Smo _ ->
+          ());
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) committed [])
+
+let show_entries entries =
+  String.concat "; " (List.map (fun (k, v) -> Printf.sprintf "%d=%s" k v) entries)
+
+let test_every_boundary_every_method () =
+  let records_appended, images = build_images () in
+  check "a substantial boundary set" true (List.length images > 60);
+  check_int "one image per log record" records_appended (List.length images);
+  List.iteri
+    (fun idx image ->
+      let expected = expected_of_log image.Crash_image.log in
+      List.iter
+        (fun m ->
+          let recovered, _stats = Db.recover image m in
+          (match Db.check_integrity recovered with
+          | Ok () -> ()
+          | Error msg ->
+              Alcotest.failf "boundary %d, %s: broken B-tree: %s" idx
+                (Recovery.method_to_string m) msg);
+          let got = Db.dump_table recovered ~table in
+          if got <> expected then
+            Alcotest.failf "boundary %d, %s:\n  expected %s\n  got      %s" idx
+              (Recovery.method_to_string m) (show_entries expected) (show_entries got))
+        Recovery.all_methods)
+    images
+
+let test_cross_method_equivalence () =
+  (* All methods recovered from the same crash image must converge to the
+     same logical state — here the final boundary, which has in-flight
+     loser updates and a full history behind it. *)
+  let _db, images = build_images () in
+  let image = List.nth images (List.length images - 1) in
+  let dumps =
+    List.map
+      (fun m ->
+        let recovered, _ = Db.recover image m in
+        (m, Db.dump_table recovered ~table))
+      Recovery.all_methods
+  in
+  match dumps with
+  | [] -> ()
+  | (m0, d0) :: rest ->
+      List.iter
+        (fun (m, d) ->
+          if d <> d0 then
+            Alcotest.failf "%s and %s disagree:\n  %s\n  %s" (Recovery.method_to_string m0)
+              (Recovery.method_to_string m) (show_entries d0) (show_entries d))
+        rest;
+      check "loser update rolled back everywhere" false
+        (List.mem_assoc 106 d0 || List.exists (fun (_, v) -> v = "loser4") d0)
+
+let suite =
+  [
+    Alcotest.test_case "every boundary, every method" `Quick test_every_boundary_every_method;
+    Alcotest.test_case "cross-method equivalence" `Quick test_cross_method_equivalence;
+  ]

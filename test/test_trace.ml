@@ -170,7 +170,15 @@ let test_chrome_json_well_formed () =
   (match validate_json json with
   | () -> ()
   | exception Failure msg -> Alcotest.failf "exported JSON malformed: %s" msg);
-  (* The export carries every buffered event plus the 7 lane-name records. *)
+  (* The export carries every buffered event plus one lane-name record per
+     lane: the 7 fixed lanes and any per-worker lane present (parallel redo
+     adds one per worker beyond the first). *)
+  let worker_lanes =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun ev -> if ev.Trace.track > 6 then Some ev.Trace.track else None)
+         (Trace.events tr))
+  in
   let count_occurrences needle hay =
     let nl = String.length needle and hl = String.length hay in
     let rec go i acc =
@@ -181,7 +189,7 @@ let test_chrome_json_well_formed () =
     go 0 0
   in
   check_int "all events exported"
-    (Trace.length tr + 7)
+    (Trace.length tr + 7 + List.length worker_lanes)
     (count_occurrences "\"name\":" json - count_occurrences "\"args\":{\"name\":" json)
 
 let test_spans_match_counters () =
