@@ -76,6 +76,19 @@ let () =
   section "PARALLEL REDO";
   print_string (Figures.workers_table workers_cells);
 
+  (* Concurrency: simulated clients sharing the engine during normal
+     execution, swept over client count × group-commit batch.  The runner
+     cross-checks that every cell converges to the same logical digest. *)
+  let conc_clients = if quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let conc_groups = if quick then [ 1; 4 ] else [ 1; 4; 16 ] in
+  let conc_txns = if quick then 120 else 300 in
+  let conc_cells =
+    Figures.run_concurrency ~scale ~clients:conc_clients ~group_commits:conc_groups
+      ~txns:conc_txns ~progress ()
+  in
+  section "CONCURRENCY";
+  print_string (Figures.concurrency_table conc_cells);
+
   (* Bechamel micro-benchmarks: wall-clock cost of the engine's hot paths. *)
   section "MICRO-BENCHMARKS (Bechamel, wall clock)";
   print_string (Micro.run ())

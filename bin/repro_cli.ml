@@ -112,6 +112,37 @@ let workers_cmd =
        ~doc:"Parallel-redo sweep: redo time and latency percentiles per worker count")
     Term.(const run $ scale_arg $ cache_arg $ worker_counts_arg)
 
+let clients_cmd =
+  let client_counts_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8 ]
+      & info [ "counts" ] ~docv:"NS" ~doc:"Comma-separated client counts to sweep.")
+  in
+  let group_commits_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 4 ]
+      & info [ "group-commits" ] ~docv:"GS" ~doc:"Comma-separated group-commit batch sizes.")
+  in
+  let txns_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "t"; "txns" ] ~docv:"N" ~doc:"Committed transactions per cell.")
+  in
+  let run scale cache counts group_commits txns =
+    print_string
+      (Figures.concurrency_table
+         (Figures.run_concurrency ~scale ~cache_mb:cache ~clients:counts ~group_commits ~txns
+            ~progress ()))
+  in
+  Cmd.v
+    (Cmd.info "clients"
+       ~doc:
+         "Concurrency sweep: simulated multi-client normal execution per (clients, \
+          group_commit) cell, with the cross-cell determinism digest check")
+    Term.(const run $ scale_arg $ cache_arg $ client_counts_arg $ group_commits_arg $ txns_arg)
+
 let crash_cmd =
   let methods_arg =
     Arg.(
@@ -277,4 +308,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fig2_cmd; fig3_cmd; appd_cmd; splitlog_cmd; workers_cmd; crash_cmd; trace_cmd ]))
+          [
+            fig2_cmd;
+            fig3_cmd;
+            appd_cmd;
+            splitlog_cmd;
+            workers_cmd;
+            clients_cmd;
+            crash_cmd;
+            trace_cmd;
+          ]))

@@ -45,7 +45,8 @@ let transfer db rng =
     in
     match attempt with
     | Ok () -> Db.commit db txn
-    | Error _conflict -> Db.abort db txn (* no-wait 2PL: abort, move on *)
+    | Error (Db.Lock_conflict _) -> Db.abort db txn (* no-wait 2PL: abort, move on *)
+    | Error e -> failwith (Db.error_to_string e)
   end
 
 let () =
@@ -75,7 +76,7 @@ let () =
   | Ok (Some s) ->
       (match Db.update db txn ~table ~key:0 ~value:(string_of_int (int_of_string s - 500)) with
       | Ok () -> ()
-      | Error e -> failwith e)
+      | Error e -> failwith (Db.error_to_string e))
   | _ -> failwith "read failed");
   Deut_wal.Log_manager.force (Db.engine db).Deut_core.Engine.log;
   let half_done = balance db 0 in

@@ -20,13 +20,13 @@ let () =
     (fun (k, v) ->
       match Db.insert db txn ~table ~key:k ~value:v with
       | Ok () -> ()
-      | Error e -> failwith e)
+      | Error e -> failwith (Db.error_to_string e))
     [ (1, "apples"); (2, "bread"); (3, "cheese") ];
   Db.commit db txn;
 
   let txn = Db.begin_txn db in
-  (match Db.update db txn ~table ~key:2 ~value:"baguette" with Ok () -> () | Error e -> failwith e);
-  (match Db.delete db txn ~table ~key:3 with Ok () -> () | Error e -> failwith e);
+  (match Db.update db txn ~table ~key:2 ~value:"baguette" with Ok () -> () | Error e -> failwith (Db.error_to_string e));
+  (match Db.delete db txn ~table ~key:3 with Ok () -> () | Error e -> failwith (Db.error_to_string e));
   Db.commit db txn;
 
   (* A checkpoint bounds how much log recovery must replay. *)
@@ -34,7 +34,7 @@ let () =
 
   (* Uncommitted work: must be rolled back by recovery's undo pass. *)
   let loser = Db.begin_txn db in
-  (match Db.update db loser ~table ~key:1 ~value:"POISON" with Ok () -> () | Error e -> failwith e);
+  (match Db.update db loser ~table ~key:1 ~value:"POISON" with Ok () -> () | Error e -> failwith (Db.error_to_string e));
   (* Force the log so the loser's records survive and undo has work to do. *)
   Deut_wal.Log_manager.force (Db.engine db).Deut_core.Engine.log;
 

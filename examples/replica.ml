@@ -37,11 +37,11 @@ let apply_logical_log log (replica : Db.t) =
             | Lr.Insert, Some v -> Db.insert replica txn ~table:u.Lr.table ~key:u.Lr.key ~value:v
             | Lr.Update, Some v -> Db.update replica txn ~table:u.Lr.table ~key:u.Lr.key ~value:v
             | Lr.Delete, _ -> Db.delete replica txn ~table:u.Lr.table ~key:u.Lr.key
-            | (Lr.Insert | Lr.Update), None -> Error "malformed record"
+            | (Lr.Insert | Lr.Update), None -> failwith "replica apply: malformed record"
           in
           (match result with
           | Ok () -> incr applied
-          | Error e -> failwith ("replica apply: " ^ e));
+          | Error e -> failwith ("replica apply: " ^ Db.error_to_string e));
           Db.commit replica txn
       | _ -> ());
   !applied
@@ -61,7 +61,7 @@ let () =
       let k = Rng.int rng 2000 in
       match Db.update primary txn ~table ~key:k ~value:(Printf.sprintf "v2-%07d" (Rng.int rng 1_000_000)) with
       | Ok () -> ()
-      | Error e -> failwith e
+      | Error e -> failwith (Db.error_to_string e)
     done;
     Db.commit primary txn
   done;
@@ -69,7 +69,7 @@ let () =
   let loser = Db.begin_txn primary in
   (match Db.update primary loser ~table ~key:0 ~value:"UNCOMMITTED" with
   | Ok () -> ()
-  | Error e -> failwith e);
+  | Error e -> failwith (Db.error_to_string e));
   Log.force (Db.engine primary).Engine.log;
 
   let image = Db.crash primary in

@@ -88,6 +88,20 @@ type t = {
           setting).  Queued commits are {e not durable} until the next
           force — a crash loses them, and recovery correctly treats them
           as losers. *)
+  clients : int;
+      (** simulated concurrent clients driving normal execution (1 = one
+          serial client).  Like [redo_workers], clients are a timing
+          overlay on the virtual clock: transaction descriptors come from
+          a shared seeded stream in hand-out (ticket) order and commits
+          are gated to ticket order, so the committed state is identical
+          at any client count — only timing, aborts and IO overlap vary.
+          Defaults from the [DEUT_CLIENTS] environment variable when
+          set. *)
+  think_us : float;
+      (** mean client think time between transactions, in simulated µs *)
+  retry_backoff_us : float;
+      (** base delay for the seeded exponential backoff a client applies
+          after a no-wait lock conflict aborts its transaction *)
   tracing : bool;
       (** record structured events (virtual-clock timestamped) into the
           engine's trace ring; off by default — recording is skipped
@@ -99,6 +113,11 @@ type t = {
 
 let default_redo_workers =
   match Sys.getenv_opt "DEUT_REDO_WORKERS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
+  | None -> 1
+
+let default_clients =
+  match Sys.getenv_opt "DEUT_CLIENTS" with
   | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
   | None -> 1
 
@@ -130,6 +149,9 @@ let default =
     log_layout = Integrated;
     locking = false;
     group_commit = 1;
+    clients = default_clients;
+    think_us = 300.0;
+    retry_backoff_us = 150.0;
     tracing = false;
     trace_capacity = 65536;
     seed = 42;

@@ -3,38 +3,104 @@ module Log_manager = Deut_wal.Log_manager
 module Pool = Deut_buffer.Buffer_pool
 module Btree = Deut_btree.Btree
 
-type t = { engine : Engine.t }
-type txn = int
+type t = { engine : Engine.t; mutable crashed : bool }
 
-let create ?(config = Config.default) () = { engine = Engine.fresh config }
-let of_engine engine = { engine }
+type error = Db_error.t =
+  | Lock_conflict of { holder : int }
+  | Txn_finished
+  | No_such_table of int
+  | Duplicate_key of { table : int; key : int }
+  | Missing_key of { table : int; key : int }
+
+let error_to_string = Db_error.to_string
+
+module Txn = struct
+  type db = t
+  type t = { id : int; db : db; client : int; mutable finished : bool }
+
+  let id t = t.id
+  let client t = t.client
+  let finished t = t.finished
+end
+
+let create ?(config = Config.default) () = { engine = Engine.fresh config; crashed = false }
+let of_engine engine = { engine; crashed = false }
 let engine t = t.engine
 let config t = t.engine.Engine.config
-let create_table t ~table = Dc.create_table t.engine.Engine.dc ~table
-let tables t = Dc.tables t.engine.Engine.dc
-let begin_txn t = Tc.begin_txn t.engine.Engine.tc
+
+let live t =
+  if t.crashed then
+    invalid_arg "Db: handle used after Db.crash — recover from the crash image instead"
+
+(* A finished handle is a soft error on the data path ([Txn_finished]);
+   a handle from another db is a hard bug, reported immediately. *)
+let check_txn t (txn : Txn.t) =
+  live t;
+  if txn.Txn.db != t then
+    invalid_arg "Db: transaction handle belongs to a different db than this one";
+  txn.Txn.finished
+
+let guarded t txn f = if check_txn t txn then Error Db_error.Txn_finished else f ()
+
+let create_table t ~table =
+  live t;
+  Dc.create_table t.engine.Engine.dc ~table
+
+let tables t =
+  live t;
+  Dc.tables t.engine.Engine.dc
+
+let begin_txn ?(client = 0) t =
+  live t;
+  { Txn.id = Tc.begin_txn t.engine.Engine.tc; db = t; client; finished = false }
+
+let unsafe_txn_of_id ?(client = 0) t ~id =
+  live t;
+  { Txn.id; db = t; client; finished = false }
 
 let insert t txn ~table ~key ~value =
-  Tc.execute t.engine.Engine.tc t.engine.Engine.dc ~txn ~table ~key ~op:Lr.Insert
-    ~value:(Some value)
+  guarded t txn (fun () ->
+      Tc.execute t.engine.Engine.tc t.engine.Engine.dc ~txn:txn.Txn.id ~table ~key
+        ~op:Lr.Insert ~value:(Some value))
 
 let update t txn ~table ~key ~value =
-  Tc.execute t.engine.Engine.tc t.engine.Engine.dc ~txn ~table ~key ~op:Lr.Update
-    ~value:(Some value)
+  guarded t txn (fun () ->
+      Tc.execute t.engine.Engine.tc t.engine.Engine.dc ~txn:txn.Txn.id ~table ~key
+        ~op:Lr.Update ~value:(Some value))
 
 let delete t txn ~table ~key =
-  Tc.execute t.engine.Engine.tc t.engine.Engine.dc ~txn ~table ~key ~op:Lr.Delete ~value:None
+  guarded t txn (fun () ->
+      Tc.execute t.engine.Engine.tc t.engine.Engine.dc ~txn:txn.Txn.id ~table ~key
+        ~op:Lr.Delete ~value:None)
 
-let read t ~table ~key = Dc.read t.engine.Engine.dc ~table ~key
+let read t ~table ~key =
+  live t;
+  Dc.read t.engine.Engine.dc ~table ~key
 
 let read_locked t txn ~table ~key =
-  match Tc.read_lock t.engine.Engine.tc ~txn ~table ~key with
-  | Ok () -> Ok (read t ~table ~key)
-  | Error _ as e -> e
-let commit_durable t txn = Tc.commit t.engine.Engine.tc t.engine.Engine.dc ~txn
+  guarded t txn (fun () ->
+      match Tc.read_lock t.engine.Engine.tc ~txn:txn.Txn.id ~table ~key with
+      | Ok () -> Ok (read t ~table ~key)
+      | Error _ as e -> e)
+
+let finish_txn t (txn : Txn.t) what =
+  if check_txn t txn then
+    invalid_arg (Printf.sprintf "Db.%s: transaction %d already finished" what txn.Txn.id);
+  txn.Txn.finished <- true
+
+let commit_durable t txn =
+  finish_txn t txn "commit";
+  Tc.commit t.engine.Engine.tc t.engine.Engine.dc ~txn:txn.Txn.id
+
 let commit t txn = ignore (commit_durable t txn)
-let flush_commits t = Tc.flush_commits t.engine.Engine.tc t.engine.Engine.dc
-let abort t txn = Tc.abort t.engine.Engine.tc t.engine.Engine.dc ~txn
+
+let flush_commits t =
+  live t;
+  Tc.flush_commits t.engine.Engine.tc t.engine.Engine.dc
+
+let abort t txn =
+  finish_txn t txn "abort";
+  Tc.abort t.engine.Engine.tc t.engine.Engine.dc ~txn:txn.Txn.id
 
 let put t ~table ~key ~value =
   let txn = begin_txn t in
@@ -45,14 +111,17 @@ let put t ~table ~key ~value =
   in
   (match result with
   | Ok () -> commit t txn
-  | Error msg ->
+  | Error e ->
       abort t txn;
-      failwith ("Db.put: " ^ msg));
+      failwith ("Db.put: " ^ Db_error.to_string e));
   ()
 
-let checkpoint t = Tc.checkpoint t.engine.Engine.tc t.engine.Engine.dc
+let checkpoint t =
+  live t;
+  Tc.checkpoint t.engine.Engine.tc t.engine.Engine.dc
 
 let compact_log t =
+  live t;
   let tc_point = Tc.log_archive_point t.engine.Engine.tc in
   (* In ARIES-checkpointing mode the redo scan can start at the minimum
      rLSN of the runtime DPT, which precedes the checkpoint; keep the log
@@ -73,16 +142,21 @@ let compact_log t =
       Log_manager.compact t.engine.Engine.dc_log ~keep_from:dc_point
   end
 
-let crash t = Crash_image.capture t.engine
+let crash t =
+  live t;
+  t.crashed <- true;
+  Crash_image.capture t.engine
 
 let recover ?config image method_ =
   let engine, stats = Recovery.recover ?config image method_ in
-  ({ engine }, stats)
+  ({ engine; crashed = false }, stats)
 
 let fold_table t ~table ~init ~f =
+  live t;
   Btree.fold_entries (Dc.tree t.engine.Engine.dc ~table) ~init ~f
 
 let fold_range t ~table ~lo ~hi ~init ~f =
+  live t;
   Deut_btree.Cursor.fold_range (Dc.tree t.engine.Engine.dc ~table) ~lo ~hi ~init ~f
 
 let scan t ~table ~lo ~hi =
@@ -91,7 +165,9 @@ let scan t ~table ~lo ~hi =
 let dump_table t ~table =
   List.rev (fold_table t ~table ~init:[] ~f:(fun acc key value -> (key, value) :: acc))
 
-let entry_count t ~table = Btree.entry_count (Dc.tree t.engine.Engine.dc ~table)
+let entry_count t ~table =
+  live t;
+  Btree.entry_count (Dc.tree t.engine.Engine.dc ~table)
 
 let check_integrity t =
   let rec go = function

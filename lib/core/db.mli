@@ -6,8 +6,9 @@
       let db = Db.create () in
       Db.create_table db ~table:1;
       let txn = Db.begin_txn db in
-      ignore (Db.insert db txn ~table:1 ~key:42 ~value:"hello");
-      Db.commit db txn;
+      (match Db.insert db txn ~table:1 ~key:42 ~value:"hello" with
+      | Ok () -> Db.commit db txn
+      | Error e -> Db.abort db txn; prerr_endline (Db.error_to_string e));
       Db.checkpoint db;
       let image = Db.crash db in
       let db', stats = Db.recover image Recovery.Log2 in
@@ -15,7 +16,35 @@
     ]} *)
 
 type t
-type txn = int
+
+(** Typed errors on the data path (re-export of {!Db_error.t}).  The
+    retry loop of a concurrent client matches on [Lock_conflict] — no
+    string parsing. *)
+type error = Db_error.t =
+  | Lock_conflict of { holder : int }
+  | Txn_finished
+  | No_such_table of int
+  | Duplicate_key of { table : int; key : int }
+  | Missing_key of { table : int; key : int }
+
+val error_to_string : error -> string
+
+(** Session-typed transaction handles.  A handle knows its owning db and
+    client and whether it has finished: using it on another db raises
+    [Invalid_argument] immediately, and using it after commit/abort is
+    [Error Txn_finished] on the data path (commit/abort themselves raise
+    — finishing twice is always a caller bug). *)
+module Txn : sig
+  type t
+
+  val id : t -> int
+  (** The TC's transaction id (log records, lock table, oracle keys). *)
+
+  val client : t -> int
+  (** The simulated client that began the transaction (0 by default). *)
+
+  val finished : t -> bool
+end
 
 val create : ?config:Config.t -> unit -> t
 val of_engine : Engine.t -> t
@@ -27,34 +56,42 @@ val tables : t -> int list
 
 (** {2 Transactions} *)
 
-val begin_txn : t -> txn
+val begin_txn : ?client:int -> t -> Txn.t
+(** Start a transaction; [client] tags the handle (and its trace lane)
+    for concurrent workloads. *)
 
-val insert : t -> txn -> table:int -> key:int -> value:string -> (unit, string) result
-val update : t -> txn -> table:int -> key:int -> value:string -> (unit, string) result
-val delete : t -> txn -> table:int -> key:int -> (unit, string) result
+val insert : t -> Txn.t -> table:int -> key:int -> value:string -> (unit, error) result
+val update : t -> Txn.t -> table:int -> key:int -> value:string -> (unit, error) result
+val delete : t -> Txn.t -> table:int -> key:int -> (unit, error) result
 
 val read : t -> table:int -> key:int -> string option
 (** Latch-free read outside any transaction (no lock, no isolation). *)
 
-val read_locked : t -> txn -> table:int -> key:int -> (string option, string) result
+val read_locked : t -> Txn.t -> table:int -> key:int -> (string option, error) result
 (** Transactional read: takes a shared key lock first when [Config.locking]
-    is enabled; a conflict returns [Error] and the caller should abort. *)
+    is enabled; [Error (Lock_conflict _)] means the caller should abort. *)
 
-val commit : t -> txn -> unit
+val commit : t -> Txn.t -> unit
 (** Commit.  With [Config.group_commit] > 1 the commit may remain in the
     volatile log tail until the group's force; [commit_durable] reports
-    which, and [flush_commits] forces immediately. *)
+    which, and [flush_commits] forces immediately.  Raises
+    [Invalid_argument] if the handle already finished. *)
 
-val commit_durable : t -> txn -> bool
+val commit_durable : t -> Txn.t -> bool
 (** Like [commit], returning whether the commit is already durable. *)
 
 val flush_commits : t -> unit
 (** Force the log, making every queued group commit durable. *)
 
-val abort : t -> txn -> unit
+val abort : t -> Txn.t -> unit
+(** Roll back.  Raises [Invalid_argument] if the handle already finished. *)
 
 val put : t -> table:int -> key:int -> value:string -> unit
 (** Auto-commit upsert convenience. *)
+
+val unsafe_txn_of_id : ?client:int -> t -> id:int -> Txn.t
+[@@alert deprecated "test-only shim for the retired int-txn API; handles made \
+                     this way skip begin_txn and may alias live transactions"]
 
 (** {2 Checkpointing, crash, recovery} *)
 
@@ -69,7 +106,8 @@ val compact_log : t -> unit
 val crash : t -> Crash_image.t
 (** Capture what survives: stable pages, stable log prefix, master record.
     The returned image is reusable — each recovery runs on its own copies.
-    The crashed [t] must not be used afterwards. *)
+    The crashed [t] is poisoned: any later operation on it raises
+    [Invalid_argument] instead of touching post-crash engine state. *)
 
 val recover : ?config:Config.t -> Crash_image.t -> Recovery.method_ -> t * Recovery_stats.t
 

@@ -1,0 +1,23 @@
+(** Typed errors for the transactional API.
+
+    Lives below both [Tc] and [Db] so the same constructors flow from the
+    lock table and DC checks out through the public facade without string
+    matching.  [Db] re-exports this type as [Db.error]. *)
+
+type t =
+  | Lock_conflict of { holder : int }
+      (** The no-wait lock table refused the lock; [holder] is one
+          transaction currently holding it.  The caller is expected to
+          abort and retry after a backoff. *)
+  | Txn_finished
+      (** The transaction handle was already committed or aborted. *)
+  | No_such_table of int
+  | Duplicate_key of { table : int; key : int }
+  | Missing_key of { table : int; key : int }
+
+let to_string = function
+  | Lock_conflict { holder } -> Printf.sprintf "lock conflict with txn %d" holder
+  | Txn_finished -> "transaction already committed or aborted"
+  | No_such_table table -> Printf.sprintf "no such table %d" table
+  | Duplicate_key { table; key } -> Printf.sprintf "duplicate key %d in table %d" key table
+  | Missing_key { table; key } -> Printf.sprintf "missing key %d in table %d" key table

@@ -152,6 +152,12 @@ let tables t =
   let catalog = Pool.get t.pool Btree.catalog_pid in
   List.map fst (Deut_btree.Catalog.tables catalog)
 
+let has_table t ~table =
+  Hashtbl.mem t.trees table
+  ||
+  let catalog = Pool.get t.pool Btree.catalog_pid in
+  List.mem_assoc table (Deut_btree.Catalog.tables catalog)
+
 (* {2 Normal execution} *)
 
 let prepare t ~table ~key ~op ~value_len = Btree.prepare_write (tree t ~table) ~key ~op ~value_len

@@ -47,6 +47,11 @@ val open_tables : t -> unit
 val tree : t -> table:int -> Deut_btree.Btree.t
 val tables : t -> int list
 
+val has_table : t -> table:int -> bool
+(** Whether the table is attached or present in the catalog (checked
+    before routing an operation, so a bad table id is a typed error
+    rather than a failed catalog lookup). *)
+
 (** {2 Normal execution} *)
 
 val prepare : t -> table:int -> key:int -> op:Deut_wal.Log_record.op_kind -> value_len:int

@@ -71,6 +71,10 @@ let register_gauges t =
   fi "monitor.bw_bytes" (fun () -> Monitor.bw_bytes monitor);
   fi "store.allocated" (fun () -> Page_store.allocated_count t.store);
   fi "store.stable" (fun () -> Page_store.stable_count t.store);
+  fi "tc.commits" (fun () -> Tc.commit_count t.tc);
+  fi "tc.aborts" (fun () -> Tc.abort_count t.tc);
+  fi "locks.conflicts" (fun () -> Tc.lock_conflicts t.tc);
+  fi "locks.keys" (fun () -> Tc.locked_keys t.tc);
   ff "clock.now_us" (fun () -> Clock.now t.clock)
 
 let assemble ?dc_log config ~store ~log =

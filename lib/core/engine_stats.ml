@@ -48,6 +48,12 @@ type t = {
   delta_bytes : int;
   bw_records : int;
   bw_bytes : int;
+  (* transactions *)
+  txn_commits : int;
+  txn_aborts : int;
+  lock_conflicts : int;
+  locked_keys : int;
+  commit_latency : latency;  (** txn.commit_latency_us percentiles (request → durable) *)
   (* database *)
   allocated_pages : int;
   stable_pages : int;
@@ -100,6 +106,10 @@ let capture (engine : Engine.t) =
   and bw_bytes = gi "monitor.bw_bytes"
   and allocated_pages = gi "store.allocated"
   and stable_pages = gi "store.stable"
+  and txn_commits = gi "tc.commits"
+  and txn_aborts = gi "tc.aborts"
+  and lock_conflicts = gi "locks.conflicts"
+  and locked_keys = gi "locks.keys"
   and sim_now_us = gf "clock.now_us" in
   let lookups = hits + misses + prefetch_hits in
   {
@@ -133,6 +143,11 @@ let capture (engine : Engine.t) =
     delta_bytes;
     bw_records;
     bw_bytes;
+    txn_commits;
+    txn_aborts;
+    lock_conflicts;
+    locked_keys;
+    commit_latency = latency "txn.commit_latency_us";
     allocated_pages;
     stable_pages;
     tables = List.length (Dc.tables engine.Engine.dc);
@@ -165,5 +180,10 @@ let to_string t =
       t.dc_log_retained_bytes;
   line "monitors:   %d Δ records (%d B), %d BW records (%d B)" t.delta_records t.delta_bytes
     t.bw_records t.bw_bytes;
+  if t.txn_commits > 0 || t.txn_aborts > 0 then begin
+    line "txns:       %d commits, %d aborts, %d lock conflicts (%d keys locked)" t.txn_commits
+      t.txn_aborts t.lock_conflicts t.locked_keys;
+    lat "  commit:   " t.commit_latency
+  end;
   line "sim clock:  %.1f ms" t.sim_now_ms;
   Buffer.contents b

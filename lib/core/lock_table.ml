@@ -6,9 +6,10 @@ type entry = { mutable owners : (int * mode) list }
 type t = {
   locks : (int * int, entry) Hashtbl.t;  (* (table, key) -> holders *)
   by_txn : (int, (int * int) list ref) Hashtbl.t;  (* txn -> keys it holds *)
+  mutable conflicts : int;  (* acquisitions refused under no-wait *)
 }
 
-let create () = { locks = Hashtbl.create 1024; by_txn = Hashtbl.create 32 }
+let create () = { locks = Hashtbl.create 1024; by_txn = Hashtbl.create 32; conflicts = 0 }
 
 let note_held t ~txn addr =
   match Hashtbl.find_opt t.by_txn txn with
@@ -42,7 +43,9 @@ let acquire t ~txn ~table ~key mode =
           entry.owners <- [ (txn, Exclusive) ];
           note_held t ~txn addr;
           Ok ()
-      | _, _, (holder, _) :: _ -> Error holder
+      | _, _, (holder, _) :: _ ->
+          t.conflicts <- t.conflicts + 1;
+          Error holder
       | _, _, [] -> Error txn (* unreachable: no others yet not grantable *))
 
 let release_all t ~txn =
@@ -63,3 +66,4 @@ let held_by t ~txn =
   match Hashtbl.find_opt t.by_txn txn with Some keys -> List.length !keys | None -> 0
 
 let locked_keys t = Hashtbl.length t.locks
+let conflicts t = t.conflicts

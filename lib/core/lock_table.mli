@@ -30,3 +30,6 @@ val held_by : t -> txn:int -> int
 
 val locked_keys : t -> int
 (** Number of keys with at least one holder. *)
+
+val conflicts : t -> int
+(** Cumulative count of acquisitions refused under the no-wait policy. *)

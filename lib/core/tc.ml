@@ -12,6 +12,8 @@ type t = {
   locks : Lock_table.t;
   mutable queued_commits : int;
   mutable master : Lsn.t;
+  mutable commits : int;  (* commits this engine lifetime *)
+  mutable aborts : int;  (* explicit aborts (recovery undo not counted) *)
 }
 
 let create ?trace ~config ~log () =
@@ -25,6 +27,8 @@ let create ?trace ~config ~log () =
     locks = Lock_table.create ();
     queued_commits = 0;
     master = Lsn.nil;
+    commits = 0;
+    aborts = 0;
   }
 let log t = t.log
 let master t = t.master
@@ -68,20 +72,26 @@ let lock t ~txn ~table ~key mode =
   else
     match Lock_table.acquire t.locks ~txn ~table ~key mode with
     | Ok () -> Ok ()
-    | Error holder -> Error (Printf.sprintf "lock conflict with txn %d" holder)
+    | Error holder -> Error (Db_error.Lock_conflict { holder })
 
 let read_lock t ~txn ~table ~key = lock t ~txn ~table ~key Lock_table.Shared
 let locks_held t ~txn = Lock_table.held_by t.locks ~txn
+let lock_conflicts t = Lock_table.conflicts t.locks
+let locked_keys t = Lock_table.locked_keys t.locks
+let commit_count t = t.commits
+let abort_count t = t.aborts
 
 let execute t dc ~txn ~table ~key ~op ~value =
   let prev_lsn = last_lsn_of t txn in
   let value_len = match value with Some v -> String.length v | None -> 0 in
+  if not (Dc.has_table dc ~table) then Error (Db_error.No_such_table table)
+  else
   match lock t ~txn ~table ~key Lock_table.Exclusive with
   | Error _ as e -> e
   | Ok () ->
   match Dc.prepare dc ~table ~key ~op ~value_len with
-  | Deut_btree.Btree.Duplicate_key -> Error "duplicate key"
-  | Deut_btree.Btree.Missing_key -> Error "missing key"
+  | Deut_btree.Btree.Duplicate_key -> Error (Db_error.Duplicate_key { table; key })
+  | Deut_btree.Btree.Missing_key -> Error (Db_error.Missing_key { table; key })
   | Deut_btree.Btree.Leaf { pid; before } ->
       let lsn =
         Log_manager.append t.log
@@ -106,6 +116,7 @@ let commit t dc ~txn =
   Hashtbl.remove t.active txn;
   Hashtbl.remove t.starts txn;
   Lock_table.release_all t.locks ~txn;
+  t.commits <- t.commits + 1;
   t.queued_commits <- t.queued_commits + 1;
   if t.queued_commits >= Stdlib.max 1 t.config.Config.group_commit then begin
     force_now t dc;
@@ -181,7 +192,9 @@ let undo_txn ?fault_after_clrs t dc ~txn ~last =
   force_now t dc;
   !clrs
 
-let abort t dc ~txn = ignore (undo_txn t dc ~txn ~last:(last_lsn_of t txn))
+let abort t dc ~txn =
+  t.aborts <- t.aborts + 1;
+  ignore (undo_txn t dc ~txn ~last:(last_lsn_of t txn))
 
 let checkpoint t dc =
   let ts0 = match t.trace with Some tr -> Deut_obs.Trace.now tr | None -> 0.0 in

@@ -33,16 +33,30 @@ val execute :
   key:int ->
   op:Deut_wal.Log_record.op_kind ->
   value:string option ->
-  (unit, string) result
+  (unit, Db_error.t) result
 (** One data operation: DC routes and reports the before-image, the TC
     logs the logical record, the DC applies it under the record's LSN.
     With [Config.locking] on, an exclusive key lock is taken first; a
-    conflict returns [Error] and the caller should abort. *)
+    conflict returns [Error (Lock_conflict _)] and the caller should
+    abort (no-wait policy). *)
 
-val read_lock : t -> txn:int -> table:int -> key:int -> (unit, string) result
+val read_lock : t -> txn:int -> table:int -> key:int -> (unit, Db_error.t) result
 (** Shared key lock for a transactional read (no-op unless locking is on). *)
 
 val locks_held : t -> txn:int -> int
+
+val lock_conflicts : t -> int
+(** Cumulative no-wait lock refusals this engine lifetime. *)
+
+val locked_keys : t -> int
+(** Keys currently locked (any mode). *)
+
+val commit_count : t -> int
+(** Transactions committed this engine lifetime. *)
+
+val abort_count : t -> int
+(** Transactions explicitly aborted this engine lifetime (the recovery
+    undo pass does not count — it calls {!undo_txn} directly). *)
 
 val commit : t -> Dc.t -> txn:int -> bool
 (** Append the commit record; force the log every [Config.group_commit]

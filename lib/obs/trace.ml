@@ -28,6 +28,8 @@ let track_dc_log_disk = 4
 let track_wal = 5
 let track_monitor = 6
 let track_worker w = 7 + w
+let client_track_base = 64
+let track_client c = client_track_base + c
 
 let track_name = function
   | 0 -> "recovery"
@@ -37,6 +39,7 @@ let track_name = function
   | 4 -> "dc-log-disk"
   | 5 -> "wal"
   | 6 -> "monitor"
+  | n when n >= client_track_base -> "client-" ^ string_of_int (n - client_track_base)
   | n when n >= 7 -> "redo-worker-" ^ string_of_int (n - 7)
   | n -> "track-" ^ string_of_int n
 

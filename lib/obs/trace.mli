@@ -40,9 +40,14 @@ val track_wal : int  (** log manager: forces *)
 val track_monitor : int  (** TC/DC monitor: delta / BW emission *)
 
 val track_worker : int -> int
-(** [track_worker w] is the lane for simulated redo worker [w] (lanes 7+).
-    Parallel replay routes each worker's [redo_op] and [stall] spans here
-    so a trace shows per-worker IO overlap. *)
+(** [track_worker w] is the lane for simulated redo worker [w] (lanes
+    7–63).  Parallel replay routes each worker's [redo_op] and [stall]
+    spans here so a trace shows per-worker IO overlap. *)
+
+val track_client : int -> int
+(** [track_client c] is the lane for simulated client [c] (lanes 64+).
+    The concurrent-execution scheduler routes each client's [txn] spans
+    and [conflict]/[wound]/[abort] instants here. *)
 
 val track_name : int -> string
 

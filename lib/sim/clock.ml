@@ -15,3 +15,18 @@ let set t us =
   t.now_us <- us
 
 let reset t = t.now_us <- 0.0
+
+module Cursor = struct
+  type clock = t
+  type t = { clock : clock; mutable at : float }
+
+  let make ?at clock =
+    { clock; at = (match at with Some a -> a | None -> clock.now_us) }
+
+  let time c = c.at
+  let enter c = set c.clock c.at
+  (* Forward-only: a step may have scheduled the cursor past the shared
+     clock (think time, retry backoff) — leaving must not undo that. *)
+  let leave c = if c.clock.now_us > c.at then c.at <- c.clock.now_us
+  let advance_to c deadline = if deadline > c.at then c.at <- deadline
+end

@@ -33,3 +33,37 @@ val set : t -> float -> unit
 
 val reset : t -> unit
 (** Rewind to time 0 (used when re-running recovery from a crash image). *)
+
+(** A private timeline multiplexed onto the shared clock.
+
+    Parallel redo workers and simulated clients each own a cursor: a
+    scheduler picks the cursor with the smallest time, [enter]s it (the
+    clock jumps to that timeline), runs one step — which may advance the
+    clock through CPU charges and IO waits — and [leave]s, capturing the
+    new position.  Shared resources (the disk's busy horizon) keep their
+    own monotonic state, so overlapping IO across timelines is modelled
+    correctly. *)
+module Cursor : sig
+  type clock = t
+
+  type t
+
+  val make : ?at:float -> clock -> t
+  (** A cursor positioned at [at] (default: the clock's current time). *)
+
+  val time : t -> float
+  (** The cursor's position, in microseconds. *)
+
+  val enter : t -> unit
+  (** Set the shared clock to this cursor's position. *)
+
+  val leave : t -> unit
+  (** Capture the shared clock's position into the cursor, forward
+      only: a position already scheduled past the clock (think time,
+      retry backoff) is kept. *)
+
+  val advance_to : t -> float -> unit
+  (** Push the cursor forward to a deadline (no-op if already past it):
+      think time, retry backoff, or waking a parked client at the
+      committer's time. *)
+end

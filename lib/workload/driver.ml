@@ -33,7 +33,7 @@ let key_of t =
 
 let fail_op what = function
   | Ok () -> ()
-  | Error msg -> failwith (Printf.sprintf "Driver: %s failed: %s" what msg)
+  | Error e -> failwith (Printf.sprintf "Driver: %s failed: %s" what (Db.error_to_string e))
 
 let create ~config spec =
   let database = Db.create ~config () in
@@ -64,16 +64,16 @@ let create ~config spec =
     let k = ref 0 in
     while !k < spec.Workload.rows do
       let txn = Db.begin_txn database in
-      Oracle.begin_txn oracle txn;
+      Oracle.begin_txn oracle (Db.Txn.id txn);
       let upper = Stdlib.min (!k + batch) spec.Workload.rows in
       while !k < upper do
         let value = Workload.value_of rng ~size:spec.Workload.value_size in
         fail_op "load insert" (Db.insert database txn ~table ~key:!k ~value);
-        Oracle.buffer_put oracle ~txn ~table ~key:!k ~value;
+        Oracle.buffer_put oracle ~txn:(Db.Txn.id txn) ~table ~key:!k ~value;
         incr k
       done;
       Db.commit database txn;
-      Oracle.commit oracle ~txn;
+      Oracle.commit oracle ~txn:(Db.Txn.id txn);
       if !k mod 100_000 = 0 then begin
         Db.checkpoint database;
         Db.compact_log database
@@ -90,7 +90,7 @@ let apply_one t txn ~table =
   | Workload.Update_only ->
       let value = Workload.value_of t.rng ~size:t.spec.Workload.value_size in
       fail_op "update" (Db.update t.db txn ~table ~key ~value);
-      Oracle.buffer_put t.oracle ~txn ~table ~key ~value;
+      Oracle.buffer_put t.oracle ~txn:(Db.Txn.id txn) ~table ~key ~value;
       t.updates <- t.updates + 1
   | Workload.Mixed { update; insert; delete; read } ->
       let total = update +. insert +. delete +. read in
@@ -99,7 +99,7 @@ let apply_one t txn ~table =
         let value = Workload.value_of t.rng ~size:t.spec.Workload.value_size in
         match Db.update t.db txn ~table ~key ~value with
         | Ok () ->
-            Oracle.buffer_put t.oracle ~txn ~table ~key ~value;
+            Oracle.buffer_put t.oracle ~txn:(Db.Txn.id txn) ~table ~key ~value;
             t.updates <- t.updates + 1
         | Error _ -> ()  (* key deleted earlier: treat as a no-op *)
       end
@@ -108,13 +108,13 @@ let apply_one t txn ~table =
         t.next_fresh_key <- key + 1;
         let value = Workload.value_of t.rng ~size:t.spec.Workload.value_size in
         fail_op "insert" (Db.insert t.db txn ~table ~key ~value);
-        Oracle.buffer_put t.oracle ~txn ~table ~key ~value;
+        Oracle.buffer_put t.oracle ~txn:(Db.Txn.id txn) ~table ~key ~value;
         t.updates <- t.updates + 1
       end
       else if x < update +. insert +. delete then begin
         match Db.delete t.db txn ~table ~key with
         | Ok () ->
-            Oracle.buffer_delete t.oracle ~txn ~table ~key;
+            Oracle.buffer_delete t.oracle ~txn:(Db.Txn.id txn) ~table ~key;
             t.updates <- t.updates + 1
         | Error _ -> ()  (* already gone *)
       end
@@ -122,19 +122,25 @@ let apply_one t txn ~table =
 
 let run_txn t =
   let txn = Db.begin_txn t.db in
-  Oracle.begin_txn t.oracle txn;
+  Oracle.begin_txn t.oracle (Db.Txn.id txn);
   let table = table_of t in
   for _ = 1 to t.spec.Workload.ops_per_txn do
     apply_one t txn ~table
   done;
   Db.commit t.db txn;
-  Oracle.commit t.oracle ~txn
+  Oracle.commit t.oracle ~txn:(Db.Txn.id txn)
 
 let run_updates t ~updates =
   let target = t.updates + updates in
   while t.updates < target do
     run_txn t
   done
+
+let run_concurrent t ~txns =
+  let sched = Client_sched.create ~oracle:t.oracle t.db t.spec in
+  Client_sched.run sched ~txns;
+  t.updates <- t.updates + (Client_sched.stats sched).Client_sched.committed_ops;
+  sched
 
 let checkpoint t =
   Db.checkpoint t.db;
@@ -156,7 +162,7 @@ let warm_to_equilibrium t =
 
 let start_loser t ~ops =
   let txn = Db.begin_txn t.db in
-  Oracle.begin_txn t.oracle txn;
+  Oracle.begin_txn t.oracle (Db.Txn.id txn);
   let table = table_of t in
   for _ = 1 to ops do
     let value = String.make t.spec.Workload.value_size 'X' in
@@ -169,7 +175,7 @@ let start_loser t ~ops =
     in
     attempt 0
   done;
-  Oracle.abort t.oracle ~txn;
+  Oracle.abort t.oracle ~txn:(Db.Txn.id txn);
   (* Force so the loser's records survive the crash and exercise undo. *)
   Deut_wal.Log_manager.force (Db.engine t.db).Deut_core.Engine.log
 

@@ -24,6 +24,13 @@ val run_updates : t -> updates:int -> unit
 (** Run transactions until at least [updates] more operations have been
     applied. *)
 
+val run_concurrent : t -> txns:int -> Client_sched.t
+(** Run [txns] transactions through a fresh {!Client_sched} over
+    [Config.clients] simulated clients, oracle-mirrored with group-commit
+    fidelity.  Returns the scheduler for stats/flush/crash protocols.
+    The committed state is identical to a serial run of the same
+    descriptor stream at any client count. *)
+
 val checkpoint : t -> unit
 (** Checkpoint and archive the log prefix recovery can no longer need. *)
 

@@ -90,22 +90,26 @@ let build scaled =
   let database = Driver.db driver in
   let dirty = Db.dirty_page_count database in
   let pool = (Db.engine database).Deut_core.Engine.pool in
-  let run =
-    {
-      image = Driver.crash driver;
-      driver;
-      dirty_at_crash = dirty;
-      cached_at_crash = Db.cached_page_count database;
-      dirty_fraction = float_of_int dirty /. float_of_int (Pool.capacity pool);
-      db_pages = Db.allocated_pages database;
-      deltas_total = Db.deltas_written database;
-      bws_total = Db.bws_written database;
-      delta_bytes = Db.delta_bytes database;
-      bw_bytes = Db.bw_bytes database;
-      updates_run = Driver.updates_done driver;
-    }
-  in
-  run
+  (* Read every statistic before the crash: [Db.crash] poisons the handle. *)
+  let cached_at_crash = Db.cached_page_count database in
+  let db_pages = Db.allocated_pages database in
+  let deltas_total = Db.deltas_written database in
+  let bws_total = Db.bws_written database in
+  let delta_bytes = Db.delta_bytes database in
+  let bw_bytes = Db.bw_bytes database in
+  {
+    image = Driver.crash driver;
+    driver;
+    dirty_at_crash = dirty;
+    cached_at_crash;
+    dirty_fraction = float_of_int dirty /. float_of_int (Pool.capacity pool);
+    db_pages;
+    deltas_total;
+    bws_total;
+    delta_bytes;
+    bw_bytes;
+    updates_run = Driver.updates_done driver;
+  }
 
 let recover_verified ?workers run method_ =
   let config =

@@ -121,3 +121,30 @@ val run_workers :
 val workers_table : workers_cell list -> string
 (** Redo time, speedup vs one worker, and stall / data-IO latency
     percentiles per (cache, method, workers) row. *)
+
+(** One (clients, group_commit) cell of the concurrency sweep. *)
+type concurrency_cell = {
+  c_clients : int;  (** [Config.clients] used for this run *)
+  c_group_commit : int;
+  c_stats : Client_sched.stats;
+  c_digest : string;  (** logical digest of the final store — equal in every cell *)
+}
+
+val run_concurrency :
+  ?scale:int ->
+  ?cache_mb:int ->
+  ?clients:int list ->
+  ?group_commits:int list ->
+  ?txns:int ->
+  ?progress:(string -> unit) ->
+  unit ->
+  concurrency_cell list
+(** Fresh database per cell, same workload seed everywhere; [txns]
+    transactions through {!Driver.run_concurrent}, oracle-verified, and
+    the final logical digest cross-checked to be identical in every cell
+    (raising otherwise).  Defaults: scale 64, cache 256 MB, clients
+    {1, 2, 4, 8}, group commit {1, 4}, 300 transactions. *)
+
+val concurrency_table : concurrency_cell list -> string
+(** Throughput, abort rate, wound/conflict counts and commit-latency
+    p50/p95 per (clients, group_commit) row. *)

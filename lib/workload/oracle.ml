@@ -3,9 +3,11 @@ type change = Put of string | Remove
 type t = {
   committed : (int * int, string) Hashtbl.t;  (* (table, key) -> value *)
   pending : (int, ((int * int) * change) list ref) Hashtbl.t;  (* txn -> buffered writes *)
+  mutable queued : ((int * int) * change) list list;
+      (* group-commit tail: committed but not yet durable, newest first *)
 }
 
-let create () = { committed = Hashtbl.create 4096; pending = Hashtbl.create 16 }
+let create () = { committed = Hashtbl.create 4096; pending = Hashtbl.create 16; queued = [] }
 let begin_txn t txn = Hashtbl.replace t.pending txn (ref [])
 
 let buffer t ~txn entry =
@@ -29,6 +31,27 @@ let commit t ~txn =
       Hashtbl.remove t.pending txn
 
 let abort t ~txn = Hashtbl.remove t.pending txn
+
+let commit_queued t ~txn =
+  match Hashtbl.find_opt t.pending txn with
+  | None -> invalid_arg "Oracle.commit_queued: transaction not begun"
+  | Some changes ->
+      t.queued <- List.rev !changes :: t.queued;
+      Hashtbl.remove t.pending txn
+
+let force t =
+  List.iter
+    (fun changes ->
+      List.iter
+        (fun (addr, change) ->
+          match change with
+          | Put v -> Hashtbl.replace t.committed addr v
+          | Remove -> Hashtbl.remove t.committed addr)
+        changes)
+    (List.rev t.queued);
+  t.queued <- []
+
+let queued_commits t = List.length t.queued
 
 let committed_value t ~table ~key = Hashtbl.find_opt t.committed (table, key)
 

@@ -17,6 +17,21 @@ val buffer_delete : t -> txn:int -> table:int -> key:int -> unit
 val commit : t -> txn:int -> unit
 val abort : t -> txn:int -> unit
 
+(** {2 Group commit}
+
+    With [Config.group_commit] > 1 a commit may sit in the volatile log
+    tail; mirroring that, [commit_queued] parks the transaction's changes
+    in commit order and [force] folds every parked group into the
+    committed state.  Call [force] whenever the engine forces its log
+    (durable commit ack, [Db.flush_commits], an abort or a checkpoint),
+    and crash verification sees exactly the durable prefix. *)
+
+val commit_queued : t -> txn:int -> unit
+val force : t -> unit
+
+val queued_commits : t -> int
+(** Transactions committed but not yet folded by [force]. *)
+
 val committed_value : t -> table:int -> key:int -> string option
 val committed_entries : t -> table:int -> (int * string) list
 (** Sorted by key. *)

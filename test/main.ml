@@ -18,4 +18,5 @@ let () =
       ("trace", Test_trace.suite);
       ("crash-points", Test_crash_points.suite);
       ("parallel-redo", Test_parallel_redo.suite);
+      ("concurrency", Test_concurrency.suite);
     ]

@@ -32,7 +32,7 @@ let small_config =
     delta_capacity = 64;
   }
 
-let ok = function Ok () -> () | Error msg -> Alcotest.fail msg
+let ok = function Ok () -> () | Error e -> Alcotest.fail (Db.error_to_string e)
 let value gen k = Printf.sprintf "v%d.%d" gen k
 
 (* Deterministic workload touching every record type the log can carry:

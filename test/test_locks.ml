@@ -57,11 +57,13 @@ let test_txn_conflicts_and_release () =
   let db = Db.create ~config:locking_config () in
   Db.create_table db ~table:1;
   let t1 = Db.begin_txn db in
-  (match Db.insert db t1 ~table:1 ~key:1 ~value:"a" with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Db.insert db t1 ~table:1 ~key:1 ~value:"a" with Ok () -> () | Error e -> Alcotest.fail (Db.error_to_string e));
   let t2 = Db.begin_txn db in
   (* Writer/writer conflict fails fast. *)
   (match Db.update db t2 ~table:1 ~key:1 ~value:"b" with
-  | Error msg -> check "conflict names the holder" true (msg = Printf.sprintf "lock conflict with txn %d" t1)
+  | Error (Db.Lock_conflict { holder }) ->
+      check_int "conflict names the holder" (Db.Txn.id t1) holder
+  | Error e -> Alcotest.failf "unexpected error: %s" (Db.error_to_string e)
   | Ok () -> Alcotest.fail "conflicting write must be refused");
   (* Reader blocked by the exclusive holder too. *)
   (match Db.read_locked db t2 ~table:1 ~key:1 with
@@ -71,7 +73,7 @@ let test_txn_conflicts_and_release () =
   check "unlocked read sees through" true (Db.read db ~table:1 ~key:1 = Some "a");
   Db.commit db t1;
   (* Commit released the lock; t2 can proceed now. *)
-  (match Db.update db t2 ~table:1 ~key:1 ~value:"b" with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Db.update db t2 ~table:1 ~key:1 ~value:"b" with Ok () -> () | Error e -> Alcotest.fail (Db.error_to_string e));
   Db.commit db t2;
   check "final value" true (Db.read db ~table:1 ~key:1 = Some "b")
 
@@ -80,12 +82,13 @@ let test_abort_releases_locks () =
   Db.create_table db ~table:1;
   Db.put db ~table:1 ~key:7 ~value:"base";
   let t1 = Db.begin_txn db in
-  (match Db.update db t1 ~table:1 ~key:7 ~value:"doomed" with Ok () -> () | Error e -> Alcotest.fail e);
-  check_int "lock held" 1 (Tc.locks_held (Db.engine db).Deut_core.Engine.tc ~txn:t1);
+  (match Db.update db t1 ~table:1 ~key:7 ~value:"doomed" with Ok () -> () | Error e -> Alcotest.fail (Db.error_to_string e));
+  check_int "lock held" 1 (Tc.locks_held (Db.engine db).Deut_core.Engine.tc ~txn:(Db.Txn.id t1));
   Db.abort db t1;
-  check_int "abort released" 0 (Tc.locks_held (Db.engine db).Deut_core.Engine.tc ~txn:t1);
+  check_int "abort released" 0
+    (Tc.locks_held (Db.engine db).Deut_core.Engine.tc ~txn:(Db.Txn.id t1));
   let t2 = Db.begin_txn db in
-  (match Db.update db t2 ~table:1 ~key:7 ~value:"next" with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Db.update db t2 ~table:1 ~key:7 ~value:"next" with Ok () -> () | Error e -> Alcotest.fail (Db.error_to_string e));
   Db.commit db t2;
   check "abort restored then t2 applied" true (Db.read db ~table:1 ~key:7 = Some "next")
 
@@ -99,14 +102,14 @@ let test_locking_crash_recovery () =
   done;
   Db.checkpoint db;
   let loser = Db.begin_txn db in
-  (match Db.update db loser ~table:1 ~key:0 ~value:"LOSER" with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Db.update db loser ~table:1 ~key:0 ~value:"LOSER" with Ok () -> () | Error e -> Alcotest.fail (Db.error_to_string e));
   Deut_wal.Log_manager.force (Db.engine db).Deut_core.Engine.log;
   let image = Db.crash db in
   let recovered, stats = Db.recover image Recovery.Log1 in
   check "loser undone" true (Db.read recovered ~table:1 ~key:0 = Some "v");
   check_int "one loser" 1 stats.Deut_core.Recovery_stats.losers;
   let t = Db.begin_txn recovered in
-  (match Db.update recovered t ~table:1 ~key:0 ~value:"post" with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Db.update recovered t ~table:1 ~key:0 ~value:"post" with Ok () -> () | Error e -> Alcotest.fail (Db.error_to_string e));
   Db.commit recovered t;
   check "post-recovery locking works" true (Db.read recovered ~table:1 ~key:0 = Some "post")
 

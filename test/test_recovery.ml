@@ -117,7 +117,7 @@ let test_crash_without_checkpoint () =
   for k = 0 to 199 do
     match Db.insert db txn ~table:1 ~key:k ~value:(string_of_int k) with
     | Ok () -> ()
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Db.error_to_string e)
   done;
   Db.commit db txn;
   let image = Db.crash db in
@@ -273,7 +273,7 @@ let test_logical_recovery_ignores_pids () =
       let v = Printf.sprintf "upd-%d-%d" k (Deut_sim.Rng.int rng 10000) in
       (match Db.update db txn ~table:1 ~key:k ~value:v with
       | Ok () -> ()
-      | Error e -> Alcotest.fail e);
+      | Error e -> Alcotest.fail (Db.error_to_string e));
       Hashtbl.replace expected k v
     done;
     Db.commit db txn
@@ -311,7 +311,7 @@ let test_recovered_db_usable () =
   let txn = Db.begin_txn db in
   (match Db.insert db txn ~table:1 ~key:999_999 ~value:"post-recovery" with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Db.error_to_string e));
   Db.commit db txn;
   Db.checkpoint db;
   let image2 = Db.crash db in
@@ -337,7 +337,7 @@ let test_committed_tail_redone () =
   for k = 0 to 9 do
     match Db.update db txn ~table:1 ~key:k ~value:"tail-update" with
     | Ok () -> ()
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Db.error_to_string e)
   done;
   Db.commit db txn;
   let image = Db.crash db in
