@@ -89,6 +89,19 @@ let () =
   section "CONCURRENCY";
   print_string (Figures.concurrency_table conc_cells);
 
+  (* Trace-mined prefetch tuning: sweep the prefetcher knobs per method,
+     score candidates by stall-attributed time from the profiler. *)
+  let tune_caches = if quick then [ 1024 ] else [ 256; 1024 ] in
+  let tune_windows = if quick then [ 16; 32 ] else [ 8; 16; 32; 64 ] in
+  let tune_chunks = if quick then [ 8; 16 ] else [ 4; 8; 16; 32 ] in
+  let tune_lookaheads = if quick then [ 256; 512 ] else [ 128; 256; 512; 1024 ] in
+  let tuning_cells =
+    Figures.run_tuning ~scale ~cache_sizes:tune_caches ~windows:tune_windows
+      ~chunks:tune_chunks ~lookaheads:tune_lookaheads ~progress ()
+  in
+  section "PREFETCH TUNING";
+  print_string (Figures.tuning_table tuning_cells);
+
   (* Bechamel micro-benchmarks: wall-clock cost of the engine's hot paths. *)
   section "MICRO-BENCHMARKS (Bechamel, wall clock)";
   print_string (Micro.run ())

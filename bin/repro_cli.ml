@@ -12,8 +12,34 @@ module Engine = Deut_core.Engine
 module Driver = Deut_workload.Driver
 module Report = Deut_workload.Report
 module Trace = Deut_obs.Trace
+module Metrics = Deut_obs.Metrics
+module Analysis = Deut_obs.Analysis
+module Tuner = Deut_obs.Tuner
 
 let progress msg = Printf.eprintf "[repro] %s\n%!" msg
+
+let write_file p s =
+  let oc = open_out p in
+  output_string oc s;
+  close_out oc
+
+let read_file p =
+  let ic = open_in_bin p in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* A dropped event means the profile would describe a truncated run; tell
+   the operator exactly what capacity to ask for. *)
+let fail_on_overflow tr =
+  if Trace.dropped tr > 0 then begin
+    Printf.eprintf
+      "FAIL: trace ring overflowed (%d of %d events dropped).\n\
+       A trace_capacity of %d would have sufficed — rerun with DEUT_TRACE_CAP=%d.\n"
+      (Trace.dropped tr) (Trace.emitted tr) (Trace.emitted tr) (Trace.emitted tr);
+    exit 1
+  end
 
 let scale_arg =
   let doc = "Divide the paper's sizes (database, cache, checkpoint interval) by $(docv)." in
@@ -222,7 +248,8 @@ let trace_cmd =
     let setup = Experiment.paper_setup ~scale ~cache_mb:cache ~checkpoint_mode () in
     let crash = Experiment.build setup in
     let config =
-      { setup.Experiment.config with Config.tracing = true; trace_capacity = 1 lsl 20 }
+      Config.of_env
+        { setup.Experiment.config with Config.tracing = true; trace_capacity = 1 lsl 20 }
     in
     let config =
       match workers with None -> config | Some w -> { config with Config.redo_workers = w }
@@ -246,12 +273,7 @@ let trace_cmd =
       | None ->
           Printf.sprintf "trace_%s_%d.json" (Recovery.method_to_string method_) cache
     in
-    let write_file p s =
-      let oc = open_out p in
-      output_string oc s;
-      close_out oc
-    in
-    write_file path (Trace.to_chrome_json tr);
+    write_file path (Trace.to_chrome_json ~metrics:(Engine.metrics (Db.engine db)) tr);
     Printf.printf "wrote %s (%d events, %d dropped)\n" path (Trace.length tr) (Trace.dropped tr);
     if emit_csv then begin
       let csv_path = Filename.remove_extension path ^ ".csv" in
@@ -281,11 +303,7 @@ let trace_cmd =
     let candidates = stats.Recovery_stats.redo_candidates in
     Printf.printf "page_fetch spans: %d (stats: %d)\nredo_op spans:    %d (stats: %d)\n"
       fetch_spans fetches redo_spans candidates;
-    if Trace.dropped tr > 0 then begin
-      Printf.eprintf "FAIL: ring overflowed, %d events dropped — raise trace_capacity\n"
-        (Trace.dropped tr);
-      exit 1
-    end;
+    fail_on_overflow tr;
     if fetch_spans <> fetches || redo_spans <> candidates then begin
       Printf.eprintf "FAIL: trace spans disagree with Recovery_stats counters\n";
       exit 1
@@ -299,6 +317,221 @@ let trace_cmd =
           (load it in chrome://tracing or Perfetto); validates span counts against \
           Recovery_stats.")
     Term.(const run $ scale_arg $ cache_arg $ method_arg $ out_arg $ csv_arg $ workers_arg)
+
+(* Shared by analyze/metrics: one traced (or not), oracle-verified recovery
+   of the standard Figure-2 crash.  Profiling pins redo_workers/clients to
+   1 so the emitted profile is byte-identical regardless of the
+   DEUT_REDO_WORKERS / DEUT_CLIENTS environment — a committed baseline must
+   not depend on the CI matrix leg that produced it.  DEUT_TRACE_CAP (via
+   [Config.of_env]) still applies. *)
+let recover_standard ~scale ~cache ~tracing method_ =
+  progress (Printf.sprintf "building crash at cache %d MB, scale 1/%d" cache scale);
+  let checkpoint_mode =
+    if method_ = Recovery.Aries_ckpt then Config.Aries_fuzzy else Config.Penultimate
+  in
+  let setup = Experiment.paper_setup ~scale ~cache_mb:cache ~checkpoint_mode () in
+  let crash = Experiment.build setup in
+  let config =
+    Config.of_env
+      { setup.Experiment.config with Config.tracing; trace_capacity = 1 lsl 20 }
+  in
+  let config = { config with Config.redo_workers = 1; clients = 1 } in
+  progress (Printf.sprintf "recovering with %s%s" (Recovery.method_to_string method_)
+       (if tracing then ", tracing on" else ""));
+  let db, stats = Db.recover ~config crash.Experiment.image method_ in
+  (match Driver.verify_recovered crash.Experiment.driver db with
+  | Ok () -> ()
+  | Error msg ->
+      failwith
+        (Printf.sprintf "recovery with %s produced wrong state: %s"
+           (Recovery.method_to_string method_) msg));
+  (db, stats)
+
+let method_pos_arg =
+  Arg.(
+    value
+    & pos 0 method_conv Recovery.Log2
+    & info [] ~docv:"METHOD" ~doc:"Recovery method (log0, log1, log2, sql1, sql2, aries).")
+
+let analyze_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the profile JSON here.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Also export the Chrome trace_event JSON (with the metrics snapshot embedded).")
+  in
+  let csv_arg =
+    Arg.(
+      value & flag
+      & info [ "csv" ] ~doc:"Also write the profile as CSV next to the $(b,--out) file.")
+  in
+  let check_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check" ] ~docv:"BASELINE"
+          ~doc:
+            "Compare against a committed baseline profile JSON and exit non-zero when \
+             stall-attributed time or fetch counts regress beyond the tolerance.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Allowed regression, in percent over the baseline (default 10).")
+  in
+  let run scale cache method_ out trace_out emit_csv check tolerance =
+    let db, stats = recover_standard ~scale ~cache ~tracing:true method_ in
+    let tr =
+      match Engine.trace (Db.engine db) with
+      | Some tr -> tr
+      | None -> failwith "tracing was not enabled on the recovery engine"
+    in
+    fail_on_overflow tr;
+    let meta =
+      [
+        ("method", Recovery.method_to_string method_);
+        ("cache_mb", string_of_int cache);
+        ("scale", string_of_int scale);
+      ]
+    in
+    let profile = Analysis.of_trace ~meta tr in
+    print_string (Analysis.render profile);
+    print_newline ();
+    (* The profile is mined from the trace alone; the counters are kept by
+       the engine.  They must agree exactly — same invariant as
+       test_analysis.ml, enforced on every CLI run. *)
+    let fetches =
+      stats.Recovery_stats.data_page_fetches + stats.Recovery_stats.index_page_fetches
+    in
+    let stall_us =
+      stats.Recovery_stats.data_stall_us +. stats.Recovery_stats.index_stall_us
+    in
+    let mismatches =
+      List.filter_map
+        (fun (name, got, want) -> if got = want then None else Some (name, got, want))
+        [
+          ("page fetches", profile.Analysis.fetch_total, fetches);
+          ("index fetches", profile.Analysis.fetch_index, stats.Recovery_stats.index_page_fetches);
+          ("stalls", profile.Analysis.stall_count, stats.Recovery_stats.stalls);
+          ( "prefetch claims",
+            profile.Analysis.pf_hit + profile.Analysis.pf_late,
+            stats.Recovery_stats.prefetch_hits );
+          ("prefetch issued", profile.Analysis.pf_issued, stats.Recovery_stats.prefetch_issued);
+          ("redo ops", profile.Analysis.redo_ops, stats.Recovery_stats.redo_candidates);
+        ]
+    in
+    let stall_drift = Float.abs (profile.Analysis.stall_total_us -. stall_us) in
+    if mismatches <> [] || stall_drift > 0.01 then begin
+      List.iter
+        (fun (name, got, want) ->
+          Printf.eprintf "FAIL: profile %s = %d, counters say %d\n" name got want)
+        mismatches;
+      if stall_drift > 0.01 then
+        Printf.eprintf "FAIL: profile stall mass %.3f µs, counters say %.3f µs\n"
+          profile.Analysis.stall_total_us stall_us;
+      exit 1
+    end;
+    print_endline "profile/counter cross-check OK";
+    let json = Analysis.to_json profile in
+    (match out with
+    | Some path ->
+        write_file path json;
+        Printf.printf "wrote %s\n" path;
+        if emit_csv then begin
+          let csv_path = Filename.remove_extension path ^ ".csv" in
+          write_file csv_path
+            (Report.csv ~header:Analysis.csv_header ~rows:(Analysis.csv_rows profile));
+          Printf.printf "wrote %s\n" csv_path
+        end
+    | None -> ());
+    (match trace_out with
+    | Some path ->
+        write_file path (Trace.to_chrome_json ~metrics:(Engine.metrics (Db.engine db)) tr);
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    match check with
+    | None -> ()
+    | Some baseline_path ->
+        let baseline =
+          match Analysis.of_json (read_file baseline_path) with
+          | Ok b -> b
+          | Error msg ->
+              Printf.eprintf "FAIL: cannot parse baseline %s: %s\n" baseline_path msg;
+              exit 1
+        in
+        let checks = Analysis.check ~baseline ~current:profile ~tolerance_pct:tolerance in
+        print_newline ();
+        Printf.printf "regression gate vs %s (tolerance +%g%%):\n" baseline_path tolerance;
+        print_string (Analysis.check_table checks);
+        if not (Analysis.check_ok checks) then begin
+          Printf.eprintf "FAIL: profile regressed beyond tolerance\n";
+          exit 1
+        end;
+        print_endline "profile gate OK"
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Recover once with tracing on and mine the trace into a profile: per-phase \
+          compute/IO/stall budget, every stall attributed to the device span it waited on, \
+          prefetched pages classified hit/late/wasted.  Cross-checks the profile against the \
+          engine counters; with $(b,--check), gates against a committed baseline profile.")
+    Term.(
+      const run $ scale_arg $ cache_arg $ method_pos_arg $ out_arg $ trace_out_arg $ csv_arg
+      $ check_arg $ tolerance_arg)
+
+let tune_cmd =
+  let ints_opt name doc =
+    Arg.(value & opt (some (list int)) None & info [ name ] ~docv:"NS" ~doc)
+  in
+  let windows_arg = ints_opt "windows" "Comma-separated prefetch_window candidates." in
+  let chunks_arg = ints_opt "chunks" "Comma-separated prefetch_chunk candidates." in
+  let lookaheads_arg =
+    ints_opt "lookaheads" "Comma-separated prefetch_lookahead candidates (SQL2 only)."
+  in
+  let run scale cache method_ windows chunks lookaheads =
+    (match method_ with
+    | Recovery.Log2 | Recovery.Sql2 -> ()
+    | m ->
+        Printf.eprintf "tune: %s does not prefetch; only log2 and sql2 can be tuned\n"
+          (Recovery.method_to_string m);
+        exit 1);
+    let cells =
+      Figures.run_tuning ~scale ~cache_sizes:[ cache ] ~methods:[ method_ ] ?windows ?chunks
+        ?lookaheads ~progress ()
+    in
+    print_string (Figures.tuning_table cells)
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Sweep prefetch settings for one method at one cache size, score each candidate by \
+          its trace-mined profile (stall-attributed time plus late/wasted-prefetch \
+          penalties), and print the recommendation table.  Every candidate recovery is \
+          oracle-verified.")
+    Term.(
+      const run $ scale_arg $ cache_arg $ method_pos_arg $ windows_arg $ chunks_arg
+      $ lookaheads_arg)
+
+let metrics_cmd =
+  let run scale cache method_ =
+    let db, _stats = recover_standard ~scale ~cache ~tracing:false method_ in
+    print_string (Metrics.render (Engine.metrics (Db.engine db)))
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Recover once and dump the engine's metrics registry — the same snapshot \
+          $(b,trace)/$(b,analyze) embed as metadata events in the exported JSON.")
+    Term.(const run $ scale_arg $ cache_arg $ method_pos_arg)
 
 let () =
   let doc =
@@ -317,4 +550,7 @@ let () =
             clients_cmd;
             crash_cmd;
             trace_cmd;
+            analyze_cmd;
+            tune_cmd;
+            metrics_cmd;
           ]))

@@ -61,6 +61,7 @@ type t = {
   mutable trace : Deut_obs.Trace.t option;
   mutable stall_hist : Deut_obs.Metrics.histogram option;
   mutable stall_track : int option;  (* trace lane override for stall spans *)
+  mutable fetch_index : bool;  (* current fetches belong to an index traversal *)
 }
 
 let dummy_page = Page.create ~page_size:Page.header_size ~pid:(-1) Page.Free
@@ -112,6 +113,7 @@ let create ~capacity ?(block_pages = 8) ?(lazy_writer_every = 0) ?(lazy_writer_m
     trace = None;
     stall_hist = None;
     stall_track = None;
+    fetch_index = false;
   }
 
 let instrument t ?trace ?stall_hist () =
@@ -119,6 +121,7 @@ let instrument t ?trace ?stall_hist () =
   t.stall_hist <- stall_hist
 
 let set_stall_track t track = t.stall_track <- track
+let set_fetch_index t b = t.fetch_index <- b
 let set_hooks t hooks = t.hooks <- hooks
 let capacity t = t.capacity
 let block_pages t = t.block_pages
@@ -266,18 +269,29 @@ let stall_until t completion =
 
 (* One "page_fetch" span per cache fill that went to disk (miss or
    prefetched page claimed), covering submit-to-install.  Recovery's span
-   accounting relies on fetch spans ≡ misses + prefetch_hits. *)
-let note_fetch t ~pid ~start ~prefetched =
+   accounting relies on fetch spans ≡ misses + prefetch_hits.  [index]
+   marks fetches inside an index traversal ([set_fetch_index]); [late]
+   marks a claimed prefetch the cursor had to wait for — the span's [dur]
+   carries the same fact (a zero-duration prefetched fetch arrived in
+   time), the instant makes it scannable. *)
+let note_fetch t ~pid ~start ~prefetched ~late =
   match t.trace with
   | Some tr ->
       Deut_obs.Trace.span tr ~name:"page_fetch" ~cat:"cache" ~track:Deut_obs.Trace.track_cache
         ~ts:start
         ~dur:(Clock.now t.clock -. start)
-        ~args:[ ("pid", pid); ("prefetched", if prefetched then 1 else 0) ]
+        ~args:
+          [
+            ("pid", pid);
+            ("prefetched", if prefetched then 1 else 0);
+            ("index", if t.fetch_index then 1 else 0);
+          ]
         ();
       if prefetched then
         Deut_obs.Trace.instant tr ~name:"prefetch_hit" ~cat:"cache"
-          ~track:Deut_obs.Trace.track_cache ~args:[ ("pid", pid) ] ()
+          ~track:Deut_obs.Trace.track_cache
+          ~args:[ ("pid", pid); ("late", if late then 1 else 0) ]
+          ()
   | None -> ()
 
 let get t ?(pin = false) pid =
@@ -293,11 +307,12 @@ let get t ?(pin = false) pid =
         | Some (completion, _lane) ->
             (* The page was prefetched; wait (if needed) for that IO. *)
             let start = Clock.now t.clock in
+            let late = completion > start in
             stall_until t completion;
             Hashtbl.remove t.in_flight pid;
             t.counters.prefetch_hits <- t.counters.prefetch_hits + 1;
             let f = install_frame t (Page_store.read t.store pid) ~dirty:false in
-            note_fetch t ~pid ~start ~prefetched:true;
+            note_fetch t ~pid ~start ~prefetched:true ~late;
             f
         | None ->
             t.counters.misses <- t.counters.misses + 1;
@@ -306,7 +321,7 @@ let get t ?(pin = false) pid =
             let completion = Disk.submit_read t.disk ~pid in
             stall_until t completion;
             let f = install_frame t (Page_store.read t.store pid) ~dirty:false in
-            note_fetch t ~pid ~start ~prefetched:false;
+            note_fetch t ~pid ~start ~prefetched:false ~late:false;
             f)
   in
   if pin then f.pins <- f.pins + 1;
@@ -340,6 +355,13 @@ let new_page t kind =
   page
 
 let install t ?event_lsn page ~dirty =
+  (* Installing an image over a still-in-flight prefetch discards that
+     fetch unread — the profiler counts it toward the wasted class. *)
+  (match t.trace with
+  | Some tr when Hashtbl.mem t.in_flight page.Page.pid ->
+      Deut_obs.Trace.instant tr ~name:"prefetch_unused" ~cat:"cache"
+        ~track:Deut_obs.Trace.track_cache ~args:[ ("pid", page.Page.pid) ] ()
+  | _ -> ());
   Hashtbl.remove t.in_flight page.Page.pid;
   let f = install_frame t page ~dirty in
   if dirty then
@@ -389,7 +411,16 @@ let prefetch t ?(lane = 0) pids =
         Deut_obs.Trace.instant tr ~name:"prefetch_issue" ~cat:"cache"
           ~track:Deut_obs.Trace.track_cache
           ~args:[ ("count", List.length accepted); ("first_pid", List.hd accepted) ]
-          ()
+          ();
+        (* Per-page instants let the profiler reconcile issued pages with
+           claimed ones without guessing the batch's membership. *)
+        List.iter
+          (fun pid ->
+            Deut_obs.Trace.instant tr ~name:"prefetch_page" ~cat:"cache"
+              ~track:Deut_obs.Trace.track_cache
+              ~args:[ ("pid", pid); ("lane", lane) ]
+              ())
+          accepted
     | None -> ()
   end
 

@@ -65,9 +65,13 @@ val create :
 val instrument :
   t -> ?trace:Deut_obs.Trace.t -> ?stall_hist:Deut_obs.Metrics.histogram -> unit -> unit
 (** Attach observability sinks.  Emits on the cache track: a [page_fetch]
-    span per miss or claimed prefetch (submit → install), a [stall] span
-    per wait on the disk (also fed to [stall_hist]), [prefetch_issue] /
-    [prefetch_hit] and [flush] instants.  Purely observational. *)
+    span per miss or claimed prefetch (submit → install, with [prefetched]
+    and [index] args), a [stall] span per wait on the disk (also fed to
+    [stall_hist]), [prefetch_issue] (one per batch) and [prefetch_page]
+    (one per submitted pid) instants, [prefetch_hit] (with a [late] arg —
+    the cursor reached the page before its IO completed) and [flush]
+    instants, and [prefetch_unused] when an install discards a
+    still-in-flight prefetch unread.  Purely observational. *)
 
 val set_hooks : t -> hooks -> unit
 val capacity : t -> int
@@ -133,6 +137,12 @@ val set_stall_track : t -> int option -> unit
 (** Override the trace lane for subsequent [stall] spans ([None] restores
     the cache track).  Parallel redo points this at the active worker's
     lane so the trace shows which worker waited. *)
+
+val set_fetch_index : t -> bool -> unit
+(** Mark subsequent fetches as index (vs data) traffic: [page_fetch] spans
+    carry an [index] arg while set.  [Dc.tracked_index] flips this around
+    B-tree traversals so the trace attributes the fetch split the same way
+    the counters do. *)
 
 val set_lazy_writer_enabled : t -> bool -> unit
 (** Recovery drivers switch the background writer off during their passes

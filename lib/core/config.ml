@@ -50,6 +50,11 @@ type prefetch_source = Pf_list | Dpt_order
 
 let prefetch_source_to_string = function Pf_list -> "pf-list" | Dpt_order -> "dpt-order"
 
+let prefetch_source_of_string = function
+  | "pf-list" -> Some Pf_list
+  | "dpt-order" -> Some Dpt_order
+  | _ -> None
+
 type t = {
   page_size : int;
   pool_pages : int;  (** cache capacity in pages *)
@@ -120,6 +125,24 @@ let default_clients =
   match Sys.getenv_opt "DEUT_CLIENTS" with
   | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
   | None -> 1
+
+(* Environment overrides, applied to an already-built config so callers
+   can layer them over experiment-specific settings.  Invalid or
+   out-of-range values are ignored rather than fatal — the env is a
+   convenience channel, not a config file. *)
+let of_env config =
+  let pos_int name current =
+    match Sys.getenv_opt name with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> current)
+    | None -> current
+  in
+  {
+    config with
+    trace_capacity = pos_int "DEUT_TRACE_CAP" config.trace_capacity;
+    redo_workers = pos_int "DEUT_REDO_WORKERS" config.redo_workers;
+    clients = pos_int "DEUT_CLIENTS" config.clients;
+  }
 
 let default =
   {

@@ -198,12 +198,14 @@ let tick_update t =
 (* {2 Recovery} *)
 
 (* Wrap an index traversal so its page fetches and stalls are attributed to
-   index IO in the stats (§5.3 reports index waits separately). *)
+   index IO in the stats (§5.3 reports index waits separately) and its
+   page_fetch spans carry the [index] arg the trace profiler splits on. *)
 let tracked_index (stats : Recovery_stats.cells) (pool : Pool.t) f =
   let c = Pool.counters pool in
   let fetches0 = c.Pool.misses + c.Pool.prefetch_hits in
   let stall0 = c.Pool.stall_us in
-  let result = f () in
+  Pool.set_fetch_index pool true;
+  let result = Fun.protect ~finally:(fun () -> Pool.set_fetch_index pool false) f in
   Metrics.add stats.Recovery_stats.index_page_fetches
     (c.Pool.misses + c.Pool.prefetch_hits - fetches0);
   Metrics.fadd stats.Recovery_stats.index_stall_us (c.Pool.stall_us -. stall0);

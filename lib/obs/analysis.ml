@@ -1,0 +1,681 @@
+(* Trace-mining profiler.  See analysis.mli for the contract. *)
+
+type phase = {
+  ph_name : string;
+  ph_start_us : float;
+  ph_dur_us : float;
+  ph_stall_us : float;
+  ph_io_us : float;
+  ph_overlap_us : float;
+  ph_compute_us : float;
+}
+
+type source = { src_device : string; src_kind : string; src_count : int; src_stall_us : float }
+
+type t = {
+  meta : (string * string) list;
+  total_us : float;
+  phases : phase list;
+  fetch_total : int;
+  fetch_data : int;
+  fetch_index : int;
+  fetch_prefetched : int;
+  fetch_demand : int;
+  pf_issued : int;
+  pf_hit : int;
+  pf_late : int;
+  pf_wasted : int;
+  stall_count : int;
+  stall_total_us : float;
+  stall_attributed_us : float;
+  sources : source list;
+  redo_ops : int;
+}
+
+let arg ev key = match List.assoc_opt key ev.Trace.args with Some v -> v | None -> 0
+let span_end ev = ev.Trace.ts +. ev.Trace.dur
+
+(* ---------- interval arithmetic ---------- *)
+
+(* Clip [(s, e)] intervals to [lo, hi] and return the length of their union.
+   Sums within a window must not double-count two devices busy at once. *)
+let union_clipped intervals ~lo ~hi =
+  let clipped =
+    List.filter_map
+      (fun (s, e) ->
+        let s = max s lo and e = min e hi in
+        if e > s then Some (s, e) else None)
+      intervals
+  in
+  let sorted = List.sort compare clipped in
+  let rec go acc cur = function
+    | [] -> ( match cur with None -> acc | Some (s, e) -> acc +. (e -. s))
+    | (s, e) :: rest -> (
+        match cur with
+        | None -> go acc (Some (s, e)) rest
+        | Some (cs, ce) ->
+            if s <= ce then go acc (Some (cs, max ce e)) rest
+            else go (acc +. (ce -. cs)) (Some (s, e)) rest)
+  in
+  go 0.0 None sorted
+
+let sum_clipped intervals ~lo ~hi =
+  List.fold_left
+    (fun acc (s, e) ->
+      let s = max s lo and e = min e hi in
+      if e > s then acc +. (e -. s) else acc)
+    0.0 intervals
+
+(* ---------- stall attribution ---------- *)
+
+(* A stall span ends exactly when the awaited IO completes
+   ([Buffer_pool.stall_until] advances the clock to the request's
+   completion), so the device span whose end matches the stall's end — both
+   deterministic doubles — is the cause.  [eps] absorbs float summation
+   noise only; distinct completions differ by whole transfer times. *)
+let end_eps = 0.5
+
+let attribute_stalls ~stalls ~ios =
+  let ios = Array.of_list ios in
+  (* Total order so the scan (and any tie-break) is deterministic. *)
+  Array.sort
+    (fun a b ->
+      compare
+        (span_end a, a.Trace.ts, a.Trace.track, a.Trace.name)
+        (span_end b, b.Trace.ts, b.Trace.track, b.Trace.name))
+    ios;
+  let n = Array.length ios in
+  let ends = Array.map span_end ios in
+  let max_dur = Array.fold_left (fun m io -> max m io.Trace.dur) 0.0 ios in
+  (* First io (in end order) whose end is >= x. *)
+  let lower_bound x =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if ends.(mid) < x then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let buckets : (string * string, int ref * float ref) Hashtbl.t = Hashtbl.create 16 in
+  let attributed = ref 0.0 in
+  List.iter
+    (fun st ->
+      let st_end = span_end st in
+      let best = ref None in
+      let i = ref (lower_bound st.Trace.ts) in
+      (* Any io overlapping the stall has end >= stall start (hence >= !i)
+         and start <= stall end; once end - max_dur > stall end no later io
+         can reach back into the window. *)
+      let continue = ref true in
+      while !continue && !i < n do
+        let io = ios.(!i) in
+        let io_end = ends.(!i) in
+        if io_end -. max_dur > st_end then continue := false
+        else begin
+          let overlap = min st_end io_end -. max st.Trace.ts io.Trace.ts in
+          if overlap > 0.0 then begin
+            let end_delta = Float.abs (io_end -. st_end) in
+            let better =
+              match !best with
+              | None -> true
+              | Some (bd, bo, _) ->
+                  if end_delta <= end_eps && bd > end_eps then true
+                  else if bd <= end_eps then end_delta < bd
+                  else overlap > bo
+            in
+            if better then best := Some (end_delta, overlap, io)
+          end;
+          incr i
+        end
+      done;
+      match !best with
+      | None -> ()
+      | Some (_, _, io) ->
+          let key = (Trace.track_name io.Trace.track, io.Trace.name) in
+          let cnt, us =
+            match Hashtbl.find_opt buckets key with
+            | Some cell -> cell
+            | None ->
+                let cell = (ref 0, ref 0.0) in
+                Hashtbl.add buckets key cell;
+                cell
+          in
+          incr cnt;
+          us := !us +. st.Trace.dur;
+          attributed := !attributed +. st.Trace.dur)
+    stalls;
+  let sources =
+    Hashtbl.fold
+      (fun (dev, kind) (cnt, us) acc ->
+        { src_device = dev; src_kind = kind; src_count = !cnt; src_stall_us = !us } :: acc)
+      buckets []
+  in
+  let sources =
+    List.sort
+      (fun a b ->
+        compare
+          (-.a.src_stall_us, a.src_device, a.src_kind)
+          (-.b.src_stall_us, b.src_device, b.src_kind))
+      sources
+  in
+  (!attributed, sources)
+
+(* ---------- profile construction ---------- *)
+
+let of_events ?(meta = []) events =
+  let stalls = ref [] and ios = ref [] and phases_raw = ref [] in
+  let fetch_total = ref 0
+  and fetch_index = ref 0
+  and fetch_prefetched = ref 0
+  and pf_hit = ref 0
+  and pf_late = ref 0
+  and pf_pages = ref 0
+  and pf_issue_count = ref 0
+  and redo_ops = ref 0 in
+  List.iter
+    (fun ev ->
+      match (ev.Trace.kind, ev.Trace.name) with
+      | Trace.Span, "stall" -> stalls := ev :: !stalls
+      | Trace.Span, _ when ev.Trace.cat = "io" -> ios := ev :: !ios
+      | Trace.Span, _ when ev.Trace.cat = "phase" -> phases_raw := ev :: !phases_raw
+      | Trace.Span, "page_fetch" ->
+          incr fetch_total;
+          if arg ev "index" = 1 then incr fetch_index;
+          if arg ev "prefetched" = 1 then begin
+            incr fetch_prefetched;
+            if ev.Trace.dur > 0.0 then incr pf_late else incr pf_hit
+          end
+      | Trace.Span, "redo_op" -> incr redo_ops
+      | Trace.Instant, "prefetch_page" -> incr pf_pages
+      | Trace.Instant, "prefetch_issue" -> pf_issue_count := !pf_issue_count + arg ev "count"
+      | _ -> ())
+    events;
+  let stalls = List.rev !stalls and ios = List.rev !ios in
+  let phases_raw = List.rev !phases_raw in
+  (* Older traces predate per-page prefetch instants; the batch counts
+     carry the same total. *)
+  let pf_issued = if !pf_pages > 0 then !pf_pages else !pf_issue_count in
+  let pf_wasted = max 0 (pf_issued - !pf_hit - !pf_late) in
+  let stall_ivals = List.map (fun ev -> (ev.Trace.ts, span_end ev)) stalls in
+  let io_ivals = List.map (fun ev -> (ev.Trace.ts, span_end ev)) ios in
+  let phases =
+    List.map
+      (fun ev ->
+        let lo = ev.Trace.ts and hi = span_end ev in
+        let stall = sum_clipped stall_ivals ~lo ~hi in
+        let stall_union = union_clipped stall_ivals ~lo ~hi in
+        let io = union_clipped io_ivals ~lo ~hi in
+        {
+          ph_name = ev.Trace.name;
+          ph_start_us = ev.Trace.ts;
+          ph_dur_us = ev.Trace.dur;
+          ph_stall_us = stall;
+          ph_io_us = io;
+          (* Stall intervals sit inside device-busy intervals (the waiter
+             follows an in-flight request), so busy-minus-stalled is the IO
+             the phase hid under compute. *)
+          ph_overlap_us = max 0.0 (io -. stall_union);
+          ph_compute_us = max 0.0 (ev.Trace.dur -. stall);
+        })
+      phases_raw
+  in
+  (* The redo phase span covers the log-scan, so the wall-clock total is
+     analysis + redo + undo. *)
+  let total_us =
+    List.fold_left
+      (fun acc ph -> if ph.ph_name = "log_scan" then acc else acc +. ph.ph_dur_us)
+      0.0 phases
+  in
+  let stall_total_us = List.fold_left (fun acc ev -> acc +. ev.Trace.dur) 0.0 stalls in
+  let stall_attributed_us, sources = attribute_stalls ~stalls ~ios in
+  {
+    meta;
+    total_us;
+    phases;
+    fetch_total = !fetch_total;
+    fetch_data = !fetch_total - !fetch_index;
+    fetch_index = !fetch_index;
+    fetch_prefetched = !fetch_prefetched;
+    fetch_demand = !fetch_total - !fetch_prefetched;
+    pf_issued;
+    pf_hit = !pf_hit;
+    pf_late = !pf_late;
+    pf_wasted;
+    stall_count = List.length stalls;
+    stall_total_us;
+    stall_attributed_us;
+    sources;
+    redo_ops = !redo_ops;
+  }
+
+let of_trace ?meta tr = of_events ?meta (Trace.events tr)
+
+let ratio num den = if den <= 0.0 then 0.0 else num /. den
+let late_fraction t = ratio (float_of_int t.pf_late) (float_of_int (t.pf_hit + t.pf_late))
+let wasted_fraction t = ratio (float_of_int t.pf_wasted) (float_of_int t.pf_issued)
+
+let attributed_fraction t =
+  if t.stall_total_us <= 0.0 then 1.0 else t.stall_attributed_us /. t.stall_total_us
+
+(* ---------- render ---------- *)
+
+let ms us = Printf.sprintf "%.3f" (us /. 1000.0)
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (match t.meta with
+  | [] -> ()
+  | meta -> line "profile: %s" (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) meta)));
+  line "total (analysis+redo+undo): %s ms" (ms t.total_us);
+  line "";
+  line "phase budget (simulated ms):";
+  line "  %-10s %10s %10s %10s %10s %10s %10s" "phase" "start" "dur" "stall" "io-busy"
+    "overlap" "compute";
+  List.iter
+    (fun ph ->
+      line "  %-10s %10s %10s %10s %10s %10s %10s" ph.ph_name (ms ph.ph_start_us)
+        (ms ph.ph_dur_us) (ms ph.ph_stall_us) (ms ph.ph_io_us) (ms ph.ph_overlap_us)
+        (ms ph.ph_compute_us))
+    t.phases;
+  line "";
+  line "fetches: %d page_fetch = %d data + %d index; %d prefetched, %d demand" t.fetch_total
+    t.fetch_data t.fetch_index t.fetch_prefetched t.fetch_demand;
+  line "prefetch: %d issued -> %d hit, %d late (%s of claims), %d wasted (%s of issued)"
+    t.pf_issued t.pf_hit t.pf_late
+    (pct (late_fraction t))
+    t.pf_wasted
+    (pct (wasted_fraction t));
+  line "stalls: %d spans, %s ms; attributed %s ms (%s)" t.stall_count (ms t.stall_total_us)
+    (ms t.stall_attributed_us)
+    (pct (attributed_fraction t));
+  if t.sources <> [] then begin
+    line "  %-12s %-10s %8s %12s" "device" "kind" "stalls" "stall ms";
+    List.iter
+      (fun s -> line "  %-12s %-10s %8d %12s" s.src_device s.src_kind s.src_count (ms s.src_stall_us))
+      t.sources
+  end;
+  line "redo ops: %d" t.redo_ops;
+  Buffer.contents buf
+
+(* ---------- JSON ---------- *)
+
+let js_f x = Printf.sprintf "%.3f" x
+
+let js_str s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 2048 in
+  let add = Buffer.add_string buf in
+  add "{\"schema\":1,\"meta\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then add ",";
+      add (js_str k);
+      add ":";
+      add (js_str v))
+    t.meta;
+  add (Printf.sprintf "},\"total_us\":%s,\"phases\":[" (js_f t.total_us));
+  List.iteri
+    (fun i ph ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf
+           "{\"name\":%s,\"start_us\":%s,\"dur_us\":%s,\"stall_us\":%s,\"io_us\":%s,\"overlap_us\":%s,\"compute_us\":%s}"
+           (js_str ph.ph_name) (js_f ph.ph_start_us) (js_f ph.ph_dur_us) (js_f ph.ph_stall_us)
+           (js_f ph.ph_io_us) (js_f ph.ph_overlap_us) (js_f ph.ph_compute_us)))
+    t.phases;
+  add
+    (Printf.sprintf
+       "],\"fetches\":{\"total\":%d,\"data\":%d,\"index\":%d,\"prefetched\":%d,\"demand\":%d}"
+       t.fetch_total t.fetch_data t.fetch_index t.fetch_prefetched t.fetch_demand);
+  add
+    (Printf.sprintf ",\"prefetch\":{\"issued\":%d,\"hit\":%d,\"late\":%d,\"wasted\":%d}"
+       t.pf_issued t.pf_hit t.pf_late t.pf_wasted);
+  add
+    (Printf.sprintf ",\"stalls\":{\"count\":%d,\"total_us\":%s,\"attributed_us\":%s}"
+       t.stall_count (js_f t.stall_total_us) (js_f t.stall_attributed_us));
+  add ",\"sources\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf "{\"device\":%s,\"kind\":%s,\"count\":%d,\"stall_us\":%s}"
+           (js_str s.src_device) (js_str s.src_kind) s.src_count (js_f s.src_stall_us)))
+    t.sources;
+  add (Printf.sprintf "],\"redo_ops\":%d}" t.redo_ops);
+  Buffer.contents buf
+
+(* Minimal JSON reader for our own output (plus hand-edited baselines).  No
+   external dependency is available, so: objects, arrays, strings with the
+   escapes we emit, numbers, true/false/null. *)
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit then begin
+      pos := !pos + String.length lit;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'
+          | Some '\\' -> Buffer.add_char buf '\\'
+          | Some '/' -> Buffer.add_char buf '/'
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some 'r' -> Buffer.add_char buf '\r'
+          | Some 'u' ->
+              if !pos + 4 >= n then fail "bad \\u escape";
+              let hex = String.sub s (!pos + 1) 4 in
+              let code = try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape" in
+              pos := !pos + 4;
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else Buffer.add_char buf '?' (* control chars only in our output *)
+          | _ -> fail "bad escape");
+          advance ();
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Jobj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((key, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Jobj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Jarr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Jarr (elements [])
+        end
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> Jnum (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member name = function
+  | Jobj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> raise (Parse_error ("missing field " ^ name)))
+  | _ -> raise (Parse_error ("expected object around " ^ name))
+
+let to_num name = function
+  | Jnum f -> f
+  | _ -> raise (Parse_error ("expected number for " ^ name))
+
+let to_str name = function
+  | Jstr s -> s
+  | _ -> raise (Parse_error ("expected string for " ^ name))
+
+let num j name = to_num name (member name j)
+let int_ j name = int_of_float (num j name)
+let str j name = to_str name (member name j)
+
+let of_json text =
+  match parse_json text with
+  | exception Parse_error msg -> Error msg
+  | j -> (
+      try
+        let meta =
+          match member "meta" j with
+          | Jobj fields -> List.map (fun (k, v) -> (k, to_str k v)) fields
+          | _ -> raise (Parse_error "expected object for meta")
+        in
+        let phases =
+          match member "phases" j with
+          | Jarr items ->
+              List.map
+                (fun p ->
+                  {
+                    ph_name = str p "name";
+                    ph_start_us = num p "start_us";
+                    ph_dur_us = num p "dur_us";
+                    ph_stall_us = num p "stall_us";
+                    ph_io_us = num p "io_us";
+                    ph_overlap_us = num p "overlap_us";
+                    ph_compute_us = num p "compute_us";
+                  })
+                items
+          | _ -> raise (Parse_error "expected array for phases")
+        in
+        let sources =
+          match member "sources" j with
+          | Jarr items ->
+              List.map
+                (fun s ->
+                  {
+                    src_device = str s "device";
+                    src_kind = str s "kind";
+                    src_count = int_ s "count";
+                    src_stall_us = num s "stall_us";
+                  })
+                items
+          | _ -> raise (Parse_error "expected array for sources")
+        in
+        let fetches = member "fetches" j and prefetch = member "prefetch" j in
+        let stalls = member "stalls" j in
+        Ok
+          {
+            meta;
+            total_us = num j "total_us";
+            phases;
+            fetch_total = int_ fetches "total";
+            fetch_data = int_ fetches "data";
+            fetch_index = int_ fetches "index";
+            fetch_prefetched = int_ fetches "prefetched";
+            fetch_demand = int_ fetches "demand";
+            pf_issued = int_ prefetch "issued";
+            pf_hit = int_ prefetch "hit";
+            pf_late = int_ prefetch "late";
+            pf_wasted = int_ prefetch "wasted";
+            stall_count = int_ stalls "count";
+            stall_total_us = num stalls "total_us";
+            stall_attributed_us = num stalls "attributed_us";
+            sources;
+            redo_ops = int_ j "redo_ops";
+          }
+      with Parse_error msg -> Error msg)
+
+(* ---------- CSV ---------- *)
+
+let csv_header = [ "metric"; "value" ]
+
+let csv_rows t =
+  let scalar name v = [ name; v ] in
+  List.concat
+    [
+      List.map (fun (k, v) -> scalar ("meta." ^ k) v) t.meta;
+      [ scalar "total_us" (js_f t.total_us) ];
+      List.concat_map
+        (fun ph ->
+          let p suffix v = scalar (Printf.sprintf "phase.%s.%s" ph.ph_name suffix) (js_f v) in
+          [
+            p "start_us" ph.ph_start_us;
+            p "dur_us" ph.ph_dur_us;
+            p "stall_us" ph.ph_stall_us;
+            p "io_us" ph.ph_io_us;
+            p "overlap_us" ph.ph_overlap_us;
+            p "compute_us" ph.ph_compute_us;
+          ])
+        t.phases;
+      [
+        scalar "fetch.total" (string_of_int t.fetch_total);
+        scalar "fetch.data" (string_of_int t.fetch_data);
+        scalar "fetch.index" (string_of_int t.fetch_index);
+        scalar "fetch.prefetched" (string_of_int t.fetch_prefetched);
+        scalar "fetch.demand" (string_of_int t.fetch_demand);
+        scalar "prefetch.issued" (string_of_int t.pf_issued);
+        scalar "prefetch.hit" (string_of_int t.pf_hit);
+        scalar "prefetch.late" (string_of_int t.pf_late);
+        scalar "prefetch.wasted" (string_of_int t.pf_wasted);
+        scalar "stall.count" (string_of_int t.stall_count);
+        scalar "stall.total_us" (js_f t.stall_total_us);
+        scalar "stall.attributed_us" (js_f t.stall_attributed_us);
+      ];
+      List.map
+        (fun s ->
+          scalar
+            (Printf.sprintf "stall.source.%s.%s_us" s.src_device s.src_kind)
+            (js_f s.src_stall_us))
+        t.sources;
+      [ scalar "redo_ops" (string_of_int t.redo_ops) ];
+    ]
+
+(* ---------- regression gate ---------- *)
+
+type check = {
+  ck_name : string;
+  ck_baseline : float;
+  ck_current : float;
+  ck_limit : float;
+  ck_ok : bool;
+}
+
+let check ~baseline ~current ~tolerance_pct =
+  let tol = max 0.0 tolerance_pct /. 100.0 in
+  (* Absolute slack keeps near-zero baselines from failing on noise-sized
+     absolute changes: 2 events for counts, 500 µs for times. *)
+  let one name ~slack b c =
+    let limit = (b *. (1.0 +. tol)) +. slack in
+    { ck_name = name; ck_baseline = b; ck_current = c; ck_limit = limit; ck_ok = c <= limit +. 1e-9 }
+  in
+  let count name b c = one name ~slack:2.0 (float_of_int b) (float_of_int c) in
+  let time name b c = one name ~slack:500.0 b c in
+  [
+    time "total_us" baseline.total_us current.total_us;
+    time "stall_total_us" baseline.stall_total_us current.stall_total_us;
+    time "stall_attributed_us" baseline.stall_attributed_us current.stall_attributed_us;
+    count "fetch_total" baseline.fetch_total current.fetch_total;
+    count "fetch_index" baseline.fetch_index current.fetch_index;
+    count "pf_wasted" baseline.pf_wasted current.pf_wasted;
+  ]
+
+let check_ok checks = List.for_all (fun ck -> ck.ck_ok) checks
+
+let check_table checks =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "  %-22s %12s %12s %12s  %s\n" "metric" "baseline" "current" "limit" "gate");
+  List.iter
+    (fun ck ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-22s %12.3f %12.3f %12.3f  %s\n" ck.ck_name ck.ck_baseline
+           ck.ck_current ck.ck_limit
+           (if ck.ck_ok then "ok" else "FAIL")))
+    checks;
+  Buffer.contents buf

@@ -113,7 +113,7 @@ let event_json ev =
   | Span -> Printf.sprintf "{%s,\"ph\":\"X\",\"dur\":%s%s}" common (js_ts ev.dur) tail
   | Instant -> Printf.sprintf "{%s,\"ph\":\"i\",\"s\":\"t\"%s}" common tail
 
-let to_chrome_json t =
+let to_chrome_json ?metrics t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   let first = ref true in
@@ -135,6 +135,26 @@ let to_chrome_json t =
            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
            tid (track_name tid)))
     (List.init 7 Fun.id @ extra);
+  (* A metrics snapshot rides along as metadata events (ignored by trace
+     viewers, read back by tools): one per registered name, in registration
+     order so the bytes are stable. *)
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      List.iter
+        (fun name ->
+          let n =
+            match Metrics.find_histogram m name with
+            | Some h -> Printf.sprintf ",\"n\":%d" (Metrics.observations h)
+            | None -> ""
+          in
+          emit
+            (Printf.sprintf
+               "{\"name\":\"metric\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"metric\":\"%s\",\"value\":%s%s}}"
+               (json_escape name)
+               (js_ts (Metrics.read m name))
+               n))
+        (Metrics.names m));
   List.iter (fun ev -> emit (event_json ev)) evs;
   Buffer.add_string buf "]}";
   Buffer.contents buf

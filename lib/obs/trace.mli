@@ -90,11 +90,15 @@ val count : t -> ?kind:kind -> ?name:string -> unit -> int
 
 (** {1 Export} *)
 
-val to_chrome_json : t -> string
+val to_chrome_json : ?metrics:Metrics.t -> t -> string
 (** Chrome [trace_event] JSON ({["{"traceEvents":[...]}"]}) loadable in
     chrome://tracing or https://ui.perfetto.dev.  Spans become ph="X"
     complete events, instants ph="i"; tracks map to tids with thread-name
-    metadata.  Deterministic: fixed field order, fixed float formatting. *)
+    metadata.  With [metrics], a [Metrics.render]-equivalent snapshot is
+    embedded as one ["metric"] metadata event per registered name (value,
+    and observation count for histograms), so a single file carries both
+    the event stream and the counters it must agree with.  Deterministic:
+    fixed field order, fixed float formatting. *)
 
 val csv_header : string list
 

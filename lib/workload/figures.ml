@@ -596,3 +596,179 @@ let concurrency_table cells =
        clients, trading commit latency for fewer log forces; percentiles are\n\
        histogram bucket upper bounds)"
     ~header ~rows ()
+
+(* ---------- prefetch tuning (trace-mined) ---------- *)
+
+module Analysis = Deut_obs.Analysis
+module Tuner = Deut_obs.Tuner
+module Db = Deut_core.Db
+module Engine = Deut_core.Engine
+module Trace = Deut_obs.Trace
+
+type tuning_cell = {
+  t_cache_mb : int;
+  t_method : Recovery.method_;
+  t_outcomes : Tuner.outcome list;
+  t_default : Tuner.outcome;
+}
+
+let candidate_config base (cand : Tuner.candidate) =
+  let source =
+    match Config.prefetch_source_of_string cand.Tuner.source with
+    | Some s -> s
+    | None -> invalid_arg ("run_tuning: unknown prefetch source " ^ cand.Tuner.source)
+  in
+  {
+    base with
+    Config.prefetch_window = cand.Tuner.window;
+    prefetch_chunk = cand.Tuner.chunk;
+    prefetch_lookahead = cand.Tuner.lookahead;
+    prefetch_source = source;
+  }
+
+(* One traced, oracle-verified recovery; fails loudly rather than profiling
+   a truncated trace or a wrong recovery. *)
+let profiled_recovery run method_ config ~meta =
+  let db, stats = Db.recover ~config run.Experiment.image method_ in
+  (match Driver.verify_recovered run.Experiment.driver db with
+  | Ok () -> ()
+  | Error msg ->
+      failwith
+        (Printf.sprintf "tuning recovery with %s produced wrong state: %s"
+           (Recovery.method_to_string method_) msg));
+  let tr =
+    match Engine.trace (Db.engine db) with
+    | Some tr -> tr
+    | None -> failwith "run_tuning: tracing was not enabled"
+  in
+  if Trace.dropped tr > 0 then
+    failwith
+      (Printf.sprintf "run_tuning: trace ring overflowed; trace_capacity of %d would suffice"
+         (Trace.emitted tr));
+  (Analysis.of_trace ~meta tr, stats)
+
+let run_tuning ?(scale = 64) ?(cache_sizes = [ 1024 ]) ?(methods = [ Recovery.Log2; Recovery.Sql2 ])
+    ?(windows = [ 8; 16; 32; 64 ]) ?(chunks = [ 4; 8; 16; 32 ])
+    ?(lookaheads = [ 128; 256; 512; 1024 ]) ?(sources = [ Config.Pf_list; Config.Dpt_order ])
+    ?(progress = no_progress) () =
+  List.concat_map
+    (fun cache_mb ->
+      progress (Printf.sprintf "tuning: cache %d MB (scale 1/%d)" cache_mb scale);
+      let setup = Experiment.paper_setup ~scale ~cache_mb () in
+      let run = Experiment.build setup in
+      let base = setup.Experiment.config in
+      let default_cand =
+        {
+          Tuner.window = base.Config.prefetch_window;
+          chunk = base.Config.prefetch_chunk;
+          lookahead = base.Config.prefetch_lookahead;
+          source = Config.prefetch_source_to_string base.Config.prefetch_source;
+        }
+      in
+      List.map
+        (fun method_ ->
+          (* Only the dimension the method's prefetcher reads is swept:
+             Log2's PF-driven prefetch ignores the lookahead, SQL2's
+             log-driven prefetch ignores the source (Appendix A). *)
+          let grid =
+            match method_ with
+            | Recovery.Log2 ->
+                List.concat_map
+                  (fun window ->
+                    List.concat_map
+                      (fun chunk ->
+                        List.map
+                          (fun source ->
+                            {
+                              Tuner.window;
+                              chunk;
+                              lookahead = default_cand.Tuner.lookahead;
+                              source = Config.prefetch_source_to_string source;
+                            })
+                          sources)
+                      chunks)
+                  windows
+            | _ ->
+                List.concat_map
+                  (fun window ->
+                    List.concat_map
+                      (fun chunk ->
+                        List.map
+                          (fun lookahead ->
+                            {
+                              Tuner.window;
+                              chunk;
+                              lookahead;
+                              source = default_cand.Tuner.source;
+                            })
+                          lookaheads)
+                      chunks)
+                  windows
+          in
+          let grid = if List.mem default_cand grid then grid else default_cand :: grid in
+          let outcomes =
+            List.map
+              (fun cand ->
+                progress
+                  (Printf.sprintf "tuning: %s %d MB %s"
+                     (Recovery.method_to_string method_)
+                     cache_mb
+                     (Tuner.candidate_to_string cand));
+                let config =
+                  candidate_config
+                    {
+                      base with
+                      Config.tracing = true;
+                      trace_capacity = 1 lsl 20;
+                      (* Tuning compares prefetch settings, so everything
+                         else is pinned — including the env-defaulted
+                         worker/client counts. *)
+                      redo_workers = 1;
+                      clients = 1;
+                    }
+                    cand
+                in
+                let meta =
+                  [
+                    ("method", Recovery.method_to_string method_);
+                    ("cache_mb", string_of_int cache_mb);
+                    ("candidate", Tuner.candidate_to_string cand);
+                  ]
+                in
+                let profile, stats = profiled_recovery run method_ config ~meta in
+                { Tuner.cand; profile; redo_ms = Rs.redo_ms stats })
+              grid
+          in
+          let t_default =
+            match List.find_opt (fun o -> o.Tuner.cand = default_cand) outcomes with
+            | Some o -> o
+            | None -> List.hd outcomes
+          in
+          { t_cache_mb = cache_mb; t_method = method_; t_outcomes = outcomes; t_default })
+        methods)
+    cache_sizes
+
+let tuning_table cells =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun cell ->
+      let default = cell.t_default.Tuner.cand in
+      Buffer.add_string buf
+        (Printf.sprintf "=== prefetch tuning: %s, cache %d MB ===\n"
+           (Recovery.method_to_string cell.t_method)
+           cell.t_cache_mb);
+      Buffer.add_string buf (Tuner.table ~default cell.t_outcomes);
+      (match Tuner.best cell.t_outcomes with
+      | Some best ->
+          let d = cell.t_default in
+          Buffer.add_string buf
+            (Printf.sprintf "recommendation: %s — redo %.3f ms vs default %.3f ms (%+.1f%%)\n"
+               (Tuner.candidate_to_string best.Tuner.cand)
+               best.Tuner.redo_ms d.Tuner.redo_ms
+               (if d.Tuner.redo_ms > 0.0 then
+                  100.0 *. (best.Tuner.redo_ms -. d.Tuner.redo_ms) /. d.Tuner.redo_ms
+                else 0.0))
+      | None -> ());
+      Buffer.add_char buf '\n')
+    cells;
+  Buffer.contents buf

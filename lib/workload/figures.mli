@@ -148,3 +148,36 @@ val run_concurrency :
 val concurrency_table : concurrency_cell list -> string
 (** Throughput, abort rate, wound/conflict counts and commit-latency
     p50/p95 per (clients, group_commit) row. *)
+
+(** One (cache size, method) cell of the trace-mined prefetch-tuning sweep. *)
+type tuning_cell = {
+  t_cache_mb : int;
+  t_method : Deut_core.Recovery.method_;
+  t_outcomes : Deut_obs.Tuner.outcome list;  (** sweep order; every run oracle-verified *)
+  t_default : Deut_obs.Tuner.outcome;  (** the outcome at [Config.default]'s settings *)
+}
+
+val run_tuning :
+  ?scale:int ->
+  ?cache_sizes:int list ->
+  ?methods:Deut_core.Recovery.method_ list ->
+  ?windows:int list ->
+  ?chunks:int list ->
+  ?lookaheads:int list ->
+  ?sources:Deut_core.Config.prefetch_source list ->
+  ?progress:(string -> unit) ->
+  unit ->
+  tuning_cell list
+(** One crash per cache size; for each method, every candidate
+    [Config.prefetch_*] setting in the grid (Log2 sweeps window × chunk ×
+    source, SQL2 window × chunk × lookahead — each prefetcher's live
+    dimensions, Appendix A) is recovered with tracing on, oracle-verified,
+    and profiled with {!Deut_obs.Analysis}; [redo_workers]/[clients] are
+    pinned to 1 so results are byte-stable regardless of environment.
+    Defaults: scale 64, cache {1024} MB, methods {Log2, SQL2}, windows
+    {8,16,32,64}, chunks {4,8,16,32}, lookaheads {128,256,512,1024}, both
+    sources.  The default setting always appears in the grid. *)
+
+val tuning_table : tuning_cell list -> string
+(** Per-cell recommendation tables ({!Deut_obs.Tuner.table}) plus a
+    best-vs-default redo-time summary line. *)

@@ -19,4 +19,5 @@ let () =
       ("crash-points", Test_crash_points.suite);
       ("parallel-redo", Test_parallel_redo.suite);
       ("concurrency", Test_concurrency.suite);
+      ("analysis", Test_analysis.suite);
     ]
