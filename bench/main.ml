@@ -3,12 +3,15 @@
    Bechamel wall-clock micro-benchmarks of the engine's hot paths.
 
    Environment knobs:
-     DEUT_SCALE   divisor of the paper's sizes (default 64; smaller = bigger
-                  experiment; see DESIGN.md §1)
-     DEUT_QUICK   if set, runs a reduced sweep for smoke-testing *)
+     DEUT_SCALE        divisor of the paper's sizes (default 64; smaller =
+                       bigger experiment; see DESIGN.md §1)
+     DEUT_QUICK        if set, runs a reduced sweep for smoke-testing
+     DEUT_BENCH_JSON   output path for the machine-readable run summary
+                       (default BENCH_recovery.json in the working dir) *)
 
 module Figures = Deut_workload.Figures
 module Recovery = Deut_core.Recovery
+module Rs = Deut_core.Recovery_stats
 
 let scale =
   match Sys.getenv_opt "DEUT_SCALE" with
@@ -26,7 +29,99 @@ let section title =
   print_endline (String.make 78 '=');
   print_newline ()
 
+(* Wall-clock accounting per harness section, reported at the end and in the
+   JSON summary.  The workload is allocation-heavy (every insert encodes a
+   log record; every flush stamps a page image), so a minor heap sized for
+   interactive programs spends a measurable fraction of the run in the GC —
+   give the bench process a larger nursery up front. *)
 let () =
+  Gc.set
+    { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024; Gc.space_overhead = 400 }
+
+let section_walls : (string * float) list ref = ref []
+
+(* Shared across sections: several sweeps use structurally identical
+   setups (fig2@512 = fig3@1x = the standard-Δ ablation row, fig2@64 =
+   the small-cache parallel-redo sweep), and each duplicate build costs
+   real seconds.  Results are identical either way — [Experiment.build]
+   is deterministic. *)
+let build_cache = Deut_workload.Experiment.build_cache ()
+
+let timed_section name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  section_walls := (name, Unix.gettimeofday () -. t0) :: !section_walls;
+  r
+
+(* Machine-readable summary: wall-clock seconds alongside the key simulated
+   metrics per (method, cache size).  Hand-rolled writer with a fixed field
+   order so runs diff cleanly; consumed by CI as an artifact. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json ~total_wall_s (fig2_cells : Figures.fig2_cell list) =
+  let path =
+    match Sys.getenv_opt "DEUT_BENCH_JSON" with Some p -> p | None -> "BENCH_recovery.json"
+  in
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"deut-bench-recovery/1\",\n";
+  add "  \"scale\": %d,\n" scale;
+  add "  \"quick\": %b,\n" quick;
+  add "  \"total_wall_s\": %.3f,\n" total_wall_s;
+  add "  \"sections\": [\n";
+  let sections = List.rev !section_walls in
+  List.iteri
+    (fun i (name, w) ->
+      add "    { \"name\": \"%s\", \"wall_s\": %.3f }%s\n" (json_escape name) w
+        (if i < List.length sections - 1 then "," else ""))
+    sections;
+  add "  ],\n";
+  add "  \"fig2\": [\n";
+  let n_cells = List.length fig2_cells in
+  List.iteri
+    (fun ci (cell : Figures.fig2_cell) ->
+      add "    {\n";
+      add "      \"cache_mb\": %d,\n" cell.Figures.cache_mb;
+      add "      \"pool_pages\": %d,\n" cell.Figures.pool_pages;
+      add "      \"db_pages\": %d,\n" cell.Figures.db_pages;
+      add "      \"build_wall_s\": %.3f,\n" cell.Figures.build_wall_s;
+      add "      \"methods\": [\n";
+      let n_m = List.length cell.Figures.methods in
+      List.iteri
+        (fun mi (m, stats) ->
+          let wall = try List.assoc m cell.Figures.method_walls with Not_found -> 0.0 in
+          add "        { \"method\": \"%s\", \"wall_s\": %.4f, "
+            (Recovery.method_to_string m) wall;
+          add "\"analysis_ms\": %.3f, \"redo_ms\": %.3f, \"undo_ms\": %.3f, "
+            (Rs.analysis_ms stats) (Rs.redo_ms stats) (Rs.undo_ms stats);
+          add "\"records_scanned\": %d, \"redo_applied\": %d, "
+            stats.Rs.records_scanned stats.Rs.redo_applied;
+          add "\"data_page_fetches\": %d, \"log_pages_read\": %d }%s\n"
+            stats.Rs.data_page_fetches stats.Rs.log_pages_read
+            (if mi < n_m - 1 then "," else ""))
+        cell.Figures.methods;
+      add "      ]\n";
+      add "    }%s\n" (if ci < n_cells - 1 then "," else ""))
+    fig2_cells;
+  add "  ]\n";
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  progress (Printf.sprintf "wrote %s" path)
+
+let () =
+  let harness_t0 = Unix.gettimeofday () in
   Printf.printf
     "Deuteronomy logical-recovery reproduction — benchmark harness\n\
      scale: 1/%d of the paper's sizes (DB %d pages-equivalent; see DESIGN.md)\n\
@@ -36,7 +131,9 @@ let () =
 
   (* Figure 2: one workload+crash per cache size, five recoveries each. *)
   let cache_sizes = if quick then [ 64; 512; 2048 ] else [ 64; 128; 256; 512; 1024; 2048 ] in
-  let fig2_cells = Figures.run_fig2 ~scale ~cache_sizes ~progress () in
+  let fig2_cells =
+    timed_section "fig2" (fun () -> Figures.run_fig2 ~cache:build_cache ~scale ~cache_sizes ~progress ())
+  in
   section "FIGURE 2(a)";
   print_string (Figures.fig2a fig2_cells);
   section "FIGURE 2(b)";
@@ -52,17 +149,19 @@ let () =
 
   (* Figure 3: checkpoint-interval sweep. *)
   let multipliers = if quick then [ 1; 5 ] else [ 1; 5; 10 ] in
-  let fig3_cells = Figures.run_fig3 ~scale ~multipliers ~progress () in
+  let fig3_cells =
+    timed_section "fig3" (fun () -> Figures.run_fig3 ~cache:build_cache ~scale ~multipliers ~progress ())
+  in
   section "FIGURE 3 (APPENDIX C)";
   print_string (Figures.fig3 fig3_cells);
 
   (* Appendix D ablations. *)
-  let appd_rows = Figures.run_appd ~scale ~progress () in
+  let appd_rows = timed_section "appd" (fun () -> Figures.run_appd ~cache:build_cache ~scale ~progress ()) in
   section "APPENDIX D ABLATIONS";
   print_string (Figures.appd appd_rows);
 
   (* Split-log layout: the Deuteronomy architecture proper (§4.2). *)
-  let split_rows = Figures.run_split ~scale ~progress () in
+  let split_rows = timed_section "split" (fun () -> Figures.run_split ~cache:build_cache ~scale ~progress ()) in
   section "SPLIT-LOG LAYOUT (§4.2)";
   print_string (Figures.split_table split_rows);
 
@@ -71,7 +170,8 @@ let () =
   let workers_cache_sizes = if quick then [ 64 ] else [ 64; 512 ] in
   let workers = if quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
   let workers_cells =
-    Figures.run_workers ~scale ~cache_sizes:workers_cache_sizes ~workers ~progress ()
+    timed_section "workers" (fun () ->
+        Figures.run_workers ~cache:build_cache ~scale ~cache_sizes:workers_cache_sizes ~workers ~progress ())
   in
   section "PARALLEL REDO";
   print_string (Figures.workers_table workers_cells);
@@ -83,25 +183,42 @@ let () =
   let conc_groups = if quick then [ 1; 4 ] else [ 1; 4; 16 ] in
   let conc_txns = if quick then 120 else 300 in
   let conc_cells =
-    Figures.run_concurrency ~scale ~clients:conc_clients ~group_commits:conc_groups
-      ~txns:conc_txns ~progress ()
+    timed_section "concurrency" (fun () ->
+        Figures.run_concurrency ~scale ~clients:conc_clients ~group_commits:conc_groups
+          ~txns:conc_txns ~progress ())
   in
   section "CONCURRENCY";
   print_string (Figures.concurrency_table conc_cells);
 
   (* Trace-mined prefetch tuning: sweep the prefetcher knobs per method,
      score candidates by stall-attributed time from the profiler. *)
-  let tune_caches = if quick then [ 1024 ] else [ 256; 1024 ] in
+  (* Quick mode tunes the 512 MB cell: smoke coverage is the same, and the
+     build is already in the cache from Figure 2. *)
+  let tune_caches = if quick then [ 512 ] else [ 256; 1024 ] in
   let tune_windows = if quick then [ 16; 32 ] else [ 8; 16; 32; 64 ] in
   let tune_chunks = if quick then [ 8; 16 ] else [ 4; 8; 16; 32 ] in
   let tune_lookaheads = if quick then [ 256; 512 ] else [ 128; 256; 512; 1024 ] in
   let tuning_cells =
-    Figures.run_tuning ~scale ~cache_sizes:tune_caches ~windows:tune_windows
-      ~chunks:tune_chunks ~lookaheads:tune_lookaheads ~progress ()
+    timed_section "tuning" (fun () ->
+        Figures.run_tuning ~cache:build_cache ~scale ~cache_sizes:tune_caches ~windows:tune_windows
+          ~chunks:tune_chunks ~lookaheads:tune_lookaheads ~progress ())
   in
   section "PREFETCH TUNING";
   print_string (Figures.tuning_table tuning_cells);
 
-  (* Bechamel micro-benchmarks: wall-clock cost of the engine's hot paths. *)
+  (* Bechamel micro-benchmarks: wall-clock cost of the engine's hot paths.
+     Drop the build cache first: bechamel compacts the heap around every
+     benchmark, and hundreds of MB of retained crash images would turn each
+     compaction into seconds. *)
+  Deut_workload.Experiment.drop_cache build_cache;
+  Gc.compact ();
   section "MICRO-BENCHMARKS (Bechamel, wall clock)";
-  print_string (Micro.run ())
+  print_string (timed_section "micro" (fun () -> Micro.run ()));
+
+  let total_wall_s = Unix.gettimeofday () -. harness_t0 in
+  section "WALL-CLOCK PER SECTION (real seconds, not simulated)";
+  List.iter
+    (fun (name, w) -> Printf.printf "  %-14s %7.2f s\n" name w)
+    (List.rev !section_walls);
+  Printf.printf "  %-14s %7.2f s\n" "total" total_wall_s;
+  write_bench_json ~total_wall_s fig2_cells

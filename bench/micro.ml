@@ -83,7 +83,14 @@ let tests =
   ]
 
 let run () =
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  (* DEUT_QUICK is a smoke test: a tenth of the sampling budget still gives
+     a stable OLS slope for these tight loops, and keeps the whole harness
+     inside the CI time budget. *)
+  let quick = Sys.getenv_opt "DEUT_QUICK" <> None in
+  let cfg =
+    if quick then Benchmark.cfg ~limit:400 ~quota:(Time.second 0.08) ~kde:None ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in

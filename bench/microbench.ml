@@ -1,0 +1,141 @@
+(* Before/after micro-benchmarks for the hot-path wall-clock pass.
+
+   Each pair measures one optimisation against the code shape it replaced:
+
+     fnv: word-wide [Fnv.fold] vs the byte-at-a-time reference loop, on a
+          full page image and on a log-record-sized payload;
+     page-read: the copy-on-write borrow the store hands out now vs the
+          copy-and-hash every fetch used to pay;
+     wal-encode: the reusable scratch writer vs a fresh buffer + contents
+          string per record;
+     wal-decode: in-place [decode_sub] out of the log buffer vs decoding a
+          substring copy;
+     pool: a cache-hit fetch loop through the full stack.
+
+   Run directly (dune exec bench/microbench.exe); honours DEUT_QUICK for a
+   reduced sampling budget like the main harness. *)
+
+open Bechamel
+open Toolkit
+module Fnv = Deut_storage.Fnv
+module Page = Deut_storage.Page
+module Page_store = Deut_storage.Page_store
+module Pool = Deut_buffer.Buffer_pool
+module Codec = Deut_wal.Codec
+module Lr = Deut_wal.Log_record
+
+let page_size = 8192
+
+let page_buf =
+  let b = Bytes.create page_size in
+  for i = 0 to page_size - 1 do
+    Bytes.set b i (Char.chr ((i * 131) land 0xFF))
+  done;
+  b
+
+let sample_update =
+  Lr.Update_rec
+    {
+      txn = 42;
+      table = 1;
+      key = 123456;
+      op = Lr.Update;
+      before = Some "previous-value-of-the-rec";
+      after = Some "updated-value-of-the-recx";
+      pid_hint = 9876;
+      prev_lsn = 1_000_000;
+    }
+
+let encoded_update = Lr.encode sample_update
+let encoded_len = String.length encoded_update
+
+(* The in-place decode path reads out of a larger buffer at an offset, the
+   way the recovery scan reads frames out of the log. *)
+let log_like =
+  let b = Bytes.create (encoded_len + 64) in
+  Bytes.blit_string encoded_update 0 b 32 encoded_len;
+  b
+
+(* A store holding one stable page, for the fetch-path comparison. *)
+let store_fixture =
+  lazy
+    (let store = Page_store.create ~page_size in
+     let pid = Page_store.allocate store Page.Btree_leaf in
+     let page = Page.create ~page_size ~pid Page.Btree_leaf in
+     Page.set_bytes page ~off:Page.header_size "stable-page-payload";
+     Page_store.write store page;
+     (store, pid))
+
+let pool_fixture =
+  lazy
+    (let clock = Deut_sim.Clock.create () in
+     let disk = Deut_sim.Disk.create clock in
+     let store = Page_store.create ~page_size in
+     let pool = Pool.create ~capacity:64 ~store ~disk ~clock () in
+     let pid = Page_store.allocate store Page.Btree_leaf in
+     let page = Page.create ~page_size ~pid Page.Btree_leaf in
+     Page_store.write store page;
+     ignore (Pool.get pool pid);
+     (pool, pid))
+
+let tests =
+  [
+    Test.make ~name:"fnv-page-byte (before)"
+      (Staged.stage (fun () -> Fnv.fold_ref page_buf ~off:0 ~len:page_size ~init:Fnv.seed));
+    Test.make ~name:"fnv-page-word (after)"
+      (Staged.stage (fun () -> Fnv.fold page_buf ~off:0 ~len:page_size ~init:Fnv.seed));
+    Test.make ~name:"fnv-record-byte (before)"
+      (Staged.stage (fun () -> Fnv.fold_ref page_buf ~off:32 ~len:encoded_len ~init:Fnv.seed));
+    Test.make ~name:"fnv-record-word (after)"
+      (Staged.stage (fun () -> Fnv.fold page_buf ~off:32 ~len:encoded_len ~init:Fnv.seed));
+    Test.make ~name:"page-read-copy+hash (before)"
+      (Staged.stage (fun () ->
+           (* What every fetch used to cost: duplicate the stable image,
+              then checksum the copy. *)
+           let copy = Bytes.copy page_buf in
+           ignore (Fnv.fold copy ~off:0 ~len:page_size ~init:Fnv.seed)));
+    Test.make ~name:"page-read-borrow (after)"
+      (Staged.stage (fun () ->
+           let store, pid = Lazy.force store_fixture in
+           ignore (Page_store.read store pid)));
+    Test.make ~name:"wal-encode-alloc (before)"
+      (Staged.stage (fun () -> Lr.encode sample_update));
+    Test.make ~name:"wal-encode-scratch (after)"
+      (let scratch = Codec.writer () in
+       Staged.stage (fun () ->
+           Codec.clear scratch;
+           Lr.encode_into scratch sample_update;
+           Codec.length scratch));
+    Test.make ~name:"wal-decode-substring (before)"
+      (Staged.stage (fun () ->
+           Lr.decode (Bytes.sub_string log_like 32 encoded_len)));
+    Test.make ~name:"wal-decode-in-place (after)"
+      (Staged.stage (fun () -> Lr.decode_sub log_like ~pos:32 ~len:encoded_len));
+    Test.make ~name:"pool-hit-fetch"
+      (Staged.stage (fun () ->
+           let pool, pid = Lazy.force pool_fixture in
+           ignore (Pool.get pool pid)));
+  ]
+
+let () =
+  let quick = Sys.getenv_opt "DEUT_QUICK" <> None in
+  let cfg =
+    if quick then Benchmark.cfg ~limit:400 ~quota:(Time.second 0.08) ~kde:None ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  Printf.printf "%-32s %14s %10s\n%s\n" "benchmark" "ns/op (OLS)" "r²" (String.make 58 '-');
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let measurement = Benchmark.run cfg [ instance ] elt in
+          let result = Analyze.one ols instance measurement in
+          let estimate =
+            match Analyze.OLS.estimates result with Some [ e ] -> e | _ -> nan
+          in
+          let r2 = match Analyze.OLS.r_square result with Some r -> r | None -> nan in
+          Printf.printf "%-32s %14.1f %10.4f\n" (Test.Elt.name elt) estimate r2)
+        (Test.elements test))
+    tests

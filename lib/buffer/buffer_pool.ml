@@ -57,6 +57,7 @@ type t = {
   mutable hooks : hooks;
   mutable cur_epoch : bool;
   in_flight : (int, float * int) Hashtbl.t;  (* pid -> completion, issuing lane *)
+  mutable lane_in_flight : int array;  (* per-lane slice of [in_flight], kept in step *)
   counters : counters;
   mutable trace : Deut_obs.Trace.t option;
   mutable stall_hist : Deut_obs.Metrics.histogram option;
@@ -99,6 +100,7 @@ let create ~capacity ?(block_pages = 8) ?(lazy_writer_every = 0) ?(lazy_writer_m
     hooks = null_hooks;
     cur_epoch = false;
     in_flight = Hashtbl.create 64;
+    lane_in_flight = Array.make 8 0;
     counters =
       {
         hits = 0;
@@ -148,10 +150,31 @@ let contains t pid = Hashtbl.mem t.by_pid pid
 let is_dirty t pid =
   match Hashtbl.find_opt t.by_pid pid with None -> false | Some slot -> t.frames.(slot).dirty
 
+(* The prefetcher polls per-lane occupancy on every step, so the per-lane
+   counts are maintained on submit/claim/discard instead of folding the
+   whole table per call. *)
 let in_flight_count ?lane t =
   match lane with
   | None -> Hashtbl.length t.in_flight
-  | Some l -> Hashtbl.fold (fun _ (_, l') n -> if l' = l then n + 1 else n) t.in_flight 0
+  | Some l -> if l < Array.length t.lane_in_flight then t.lane_in_flight.(l) else 0
+
+let note_in_flight t lane n =
+  let len = Array.length t.lane_in_flight in
+  if lane >= len then begin
+    let grown = Array.make (Stdlib.max (lane + 1) (2 * len)) 0 in
+    Array.blit t.lane_in_flight 0 grown 0 len;
+    t.lane_in_flight <- grown
+  end;
+  t.lane_in_flight.(lane) <- t.lane_in_flight.(lane) + n
+
+(* Remove [pid] from the in-flight set (claimed by a fetch or overwritten by
+   an install), keeping the lane counters in step. *)
+let drop_in_flight t pid =
+  match Hashtbl.find_opt t.in_flight pid with
+  | None -> ()
+  | Some (_, lane) ->
+      Hashtbl.remove t.in_flight pid;
+      t.lane_in_flight.(lane) <- t.lane_in_flight.(lane) - 1
 
 let flush_frame t f =
   t.hooks.ensure_stable ~tc_lsn:(Page.plsn f.page) ~dc_lsn:(Page.dc_plsn f.page);
@@ -309,7 +332,7 @@ let get t ?(pin = false) pid =
             let start = Clock.now t.clock in
             let late = completion > start in
             stall_until t completion;
-            Hashtbl.remove t.in_flight pid;
+            drop_in_flight t pid;
             t.counters.prefetch_hits <- t.counters.prefetch_hits + 1;
             let f = install_frame t (Page_store.read t.store pid) ~dirty:false in
             note_fetch t ~pid ~start ~prefetched:true ~late;
@@ -362,7 +385,7 @@ let install t ?event_lsn page ~dirty =
       Deut_obs.Trace.instant tr ~name:"prefetch_unused" ~cat:"cache"
         ~track:Deut_obs.Trace.track_cache ~args:[ ("pid", page.Page.pid) ] ()
   | _ -> ());
-  Hashtbl.remove t.in_flight page.Page.pid;
+  drop_in_flight t page.Page.pid;
   let f = install_frame t page ~dirty in
   if dirty then
     let lsn = Option.value event_lsn ~default:(Page.plsn page) in
@@ -405,6 +428,7 @@ let prefetch t ?(lane = 0) pids =
   if accepted <> [] then begin
     let completion = Disk.submit_batch_read t.disk accepted in
     List.iter (fun pid -> Hashtbl.replace t.in_flight pid (completion, lane)) accepted;
+    note_in_flight t lane (List.length accepted);
     t.counters.prefetch_issued <- t.counters.prefetch_issued + List.length accepted;
     match t.trace with
     | Some tr ->

@@ -234,7 +234,7 @@ let install_image t ~pid ~image ~lsn =
       Page.set_bytes page ~off:0 image;
       Pool.mark_dirty_dc t.pool ~pid ~dc_lsn:lsn ~event_lsn
   | None ->
-      let page = { Page.pid; buf = Bytes.of_string image } in
+      let page = Page.of_image ~pid image in
       Page.set_dc_plsn page lsn;
       Pool.install t.pool page ~dirty:true ~event_lsn
 

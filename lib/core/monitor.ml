@@ -91,7 +91,7 @@ let emit_delta t =
     in
     ignore (t.log_append record);
     t.deltas <- t.deltas + 1;
-    t.delta_bytes <- t.delta_bytes + String.length (Lr.encode record);
+    t.delta_bytes <- t.delta_bytes + Lr.encoded_size record;
     (match t.trace with
     | Some tr ->
         Deut_obs.Trace.instant tr ~name:"delta_emit" ~cat:"monitor"
@@ -111,7 +111,7 @@ let emit_bw t =
     let record = Lr.Bw { written = Ivec.to_array t.bw_written; fw_lsn = t.bw_fw_lsn } in
     ignore (t.log_append record);
     t.bws <- t.bws + 1;
-    t.bw_bytes <- t.bw_bytes + String.length (Lr.encode record);
+    t.bw_bytes <- t.bw_bytes + Lr.encoded_size record;
     (match t.trace with
     | Some tr ->
         Deut_obs.Trace.instant tr ~name:"bw_emit" ~cat:"monitor"

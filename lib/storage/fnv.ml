@@ -1,0 +1,45 @@
+let seed = 0x811C9DC5
+
+let[@inline always] mix h byte = (h lxor byte) * 0x01000193 land 0xFFFFFFFF
+
+let fold_ref buf ~off ~len ~init =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Fnv.fold_ref: range out of bounds";
+  let h = ref init in
+  for i = off to off + len - 1 do
+    h := mix !h (Char.code (Bytes.get buf i))
+  done;
+  !h
+
+(* FNV-1a is byte-sequential, so "word-wide" here means one bounds-checked
+   64-bit load per 8 bytes with the bytes then mixed in address order — the
+   hash value is identical to the byte-at-a-time reference, only the memory
+   traffic changes.  [get_int64_le] fixes byte order regardless of host
+   endianness; byte 7 is re-read directly because [Int64.to_int] keeps only
+   63 bits and would lose its high bit. *)
+let fold buf ~off ~len ~init =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Fnv.fold: range out of bounds";
+  let h = ref init in
+  let i = ref off in
+  let stop = off + len - 7 in
+  while !i < stop do
+    let w = Int64.to_int (Bytes.get_int64_le buf !i) in
+    let h0 = mix !h (w land 0xff) in
+    let h1 = mix h0 ((w lsr 8) land 0xff) in
+    let h2 = mix h1 ((w lsr 16) land 0xff) in
+    let h3 = mix h2 ((w lsr 24) land 0xff) in
+    let h4 = mix h3 ((w lsr 32) land 0xff) in
+    let h5 = mix h4 ((w lsr 40) land 0xff) in
+    let h6 = mix h5 ((w lsr 48) land 0xff) in
+    h := mix h6 (Char.code (Bytes.unsafe_get buf (!i + 7)));
+    i := !i + 8
+  done;
+  let last = off + len - 1 in
+  while !i <= last do
+    h := mix !h (Char.code (Bytes.unsafe_get buf !i));
+    incr i
+  done;
+  !h
+
+let sub buf ~off ~len = fold buf ~off ~len ~init:seed

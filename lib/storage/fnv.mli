@@ -1,0 +1,24 @@
+(** 32-bit FNV-1a over byte ranges — the one checksum used for both page
+    images and log frames.
+
+    [fold] is the production implementation: it strides the range eight
+    bytes at a time (one [Bytes.get_int64_le] load per word, bytes mixed in
+    address order, [unsafe_get] for the tail), producing {e exactly} the
+    same hash as the textbook byte-at-a-time loop.  [fold_ref] is that
+    byte-wise reference, kept exported so the property tests and the
+    microbench can pin the equivalence and the speedup. *)
+
+val seed : int
+(** The FNV-1a offset basis, [0x811C9DC5]. *)
+
+val fold : Bytes.t -> off:int -> len:int -> init:int -> int
+(** Word-wide FNV-1a of [buf.[off .. off+len)], continuing from [init].
+    Chain calls (passing the previous result as [init]) to hash
+    discontiguous ranges.  Raises [Invalid_argument] if the range is out of
+    bounds. *)
+
+val fold_ref : Bytes.t -> off:int -> len:int -> init:int -> int
+(** Byte-at-a-time reference implementation; same contract as [fold]. *)
+
+val sub : Bytes.t -> off:int -> len:int -> int
+(** [fold] from [seed] — the checksum of a single contiguous range. *)

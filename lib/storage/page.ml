@@ -6,7 +6,11 @@ let kind_to_string = function
   | Btree_leaf -> "leaf"
   | Btree_internal -> "internal"
 
-type t = { pid : int; buf : Bytes.t }
+(* [shared] marks a page whose [buf] aliases bytes owned by someone else
+   (the page store's stable image).  Reads go straight through; the first
+   mutation copies the buffer and drops the flag, so stable images can be
+   lent out without a defensive copy per fetch. *)
+type t = { pid : int; mutable buf : Bytes.t; mutable shared : bool }
 
 let header_size = 24
 
@@ -19,15 +23,36 @@ let kind_of_tag = function
   | 3 -> Btree_internal
   | n -> invalid_arg (Printf.sprintf "Page.kind_of_tag: corrupt kind tag %d" n)
 
+let[@inline] unshare t =
+  if t.shared then begin
+    t.buf <- Bytes.copy t.buf;
+    t.shared <- false
+  end
+
 let size t = Bytes.length t.buf
 let get_u8 t off = Char.code (Bytes.get t.buf off)
-let set_u8 t off v = Bytes.set t.buf off (Char.chr (v land 0xff))
+
+let set_u8 t off v =
+  unshare t;
+  Bytes.set t.buf off (Char.chr (v land 0xff))
+
 let get_u16 t off = Bytes.get_uint16_be t.buf off
-let set_u16 t off v = Bytes.set_uint16_be t.buf off v
+
+let set_u16 t off v =
+  unshare t;
+  Bytes.set_uint16_be t.buf off v
+
 let get_u32 t off = Int32.to_int (Bytes.get_int32_be t.buf off) land 0xffffffff
-let set_u32 t off v = Bytes.set_int32_be t.buf off (Int32.of_int v)
+
+let set_u32 t off v =
+  unshare t;
+  Bytes.set_int32_be t.buf off (Int32.of_int v)
+
 let get_u64 t off = Int64.to_int (Bytes.get_int64_be t.buf off)
-let set_u64 t off v = Bytes.set_int64_be t.buf off (Int64.of_int v)
+
+let set_u64 t off v =
+  unshare t;
+  Bytes.set_int64_be t.buf off (Int64.of_int v)
 
 let kind t = kind_of_tag (get_u8 t 0)
 let set_kind t k = set_u8 t 0 (kind_to_tag k)
@@ -37,18 +62,11 @@ let dc_plsn t = get_u64 t 16
 let set_dc_plsn t lsn = set_u64 t 16 lsn
 
 (* FNV-1a over everything except the checksum field itself (bytes 4-7). *)
-let compute_checksum t =
-  let h = ref 0x811C9DC5 in
-  let mix byte = h := (!h lxor byte) * 0x01000193 land 0xFFFFFFFF in
-  let n = Bytes.length t.buf in
-  for i = 0 to 3 do
-    mix (Char.code (Bytes.get t.buf i))
-  done;
-  for i = 8 to n - 1 do
-    mix (Char.code (Bytes.get t.buf i))
-  done;
-  !h
+let checksum_of_bytes buf =
+  let h = Fnv.fold buf ~off:0 ~len:4 ~init:Fnv.seed in
+  Fnv.fold buf ~off:8 ~len:(Bytes.length buf - 8) ~init:h
 
+let compute_checksum t = checksum_of_bytes t.buf
 let stamp_checksum t = set_u32 t 4 (compute_checksum t)
 
 let checksum_ok t =
@@ -57,14 +75,33 @@ let checksum_ok t =
 
 let create ~page_size ~pid k =
   if page_size < header_size then invalid_arg "Page.create: page_size below header";
-  let t = { pid; buf = Bytes.make page_size '\000' } in
+  let t = { pid; buf = Bytes.make page_size '\000'; shared = false } in
   set_kind t k;
   t
 
-let copy t = { pid = t.pid; buf = Bytes.copy t.buf }
+let copy t = { pid = t.pid; buf = Bytes.copy t.buf; shared = false }
+let borrow ~pid buf = { pid; buf; shared = true }
+let of_image ~pid image = { pid; buf = Bytes.of_string image; shared = false }
+let is_borrowed t = t.shared
+
+let stable_image t =
+  let buf = Bytes.copy t.buf in
+  let h = checksum_of_bytes buf in
+  Bytes.set_int32_be buf 4 (Int32.of_int h);
+  buf
 
 let get_bytes t ~off ~len = Bytes.sub_string t.buf off len
-let set_bytes t ~off s = Bytes.blit_string s 0 t.buf off (String.length s)
-let blit_within t ~src ~dst ~len = Bytes.blit t.buf src t.buf dst len
-let zero_range t ~off ~len = Bytes.fill t.buf off len '\000'
+
+let set_bytes t ~off s =
+  unshare t;
+  Bytes.blit_string s 0 t.buf off (String.length s)
+
+let blit_within t ~src ~dst ~len =
+  unshare t;
+  Bytes.blit t.buf src t.buf dst len
+
+let zero_range t ~off ~len =
+  unshare t;
+  Bytes.fill t.buf off len '\000'
+
 let equal_contents a b = Bytes.equal a.buf b.buf

@@ -19,7 +19,12 @@ type kind = Free | Meta | Btree_leaf | Btree_internal
 
 val kind_to_string : kind -> string
 
-type t = { pid : int; buf : Bytes.t }
+type t = private { pid : int; mutable buf : Bytes.t; mutable shared : bool }
+(** Fields are readable everywhere; construction and mutation go through
+    the functions below.  [shared] marks a borrowed page (see {!borrow})
+    whose buffer still aliases its owner's bytes — every mutator copies
+    the buffer first ([unshare]), so holders of the owner's bytes never see
+    a page mutation and page holders never see owner mutations. *)
 
 val header_size : int
 (** Bytes reserved at the start of every page: kind tag, checksum, and the
@@ -29,6 +34,23 @@ val create : page_size:int -> pid:int -> kind -> t
 (** A zeroed page of the given kind with pLSN 0. *)
 
 val copy : t -> t
+
+val borrow : pid:int -> Bytes.t -> t
+(** A copy-on-write view over caller-owned bytes: reads alias the caller's
+    buffer, the first mutation through this page copies it.  The caller
+    must not mutate the bytes while the borrow is live — the page store
+    upholds this by replacing (never editing) stable images. *)
+
+val of_image : pid:int -> string -> t
+(** An owning page holding a copy of the full page image [image]. *)
+
+val is_borrowed : t -> bool
+(** [true] until the first mutation of a {!borrow}ed page. *)
+
+val stable_image : t -> Bytes.t
+(** A freshly allocated copy of the contents with the checksum stamped into
+    it — the image the store files away.  [t] itself is not modified. *)
+
 val size : t -> int
 
 val kind : t -> kind

@@ -29,14 +29,19 @@ val allocated_count : t -> int
 (** Number of pids handed out (the "database size" in pages). *)
 
 val stable_count : t -> int
-(** Number of pages with a stable image. *)
+(** Number of pages with a stable image (maintained incrementally, O(1)). *)
 
 val exists : t -> int -> bool
+
 val read : t -> int -> Page.t
+(** A {!Page.borrow}ed copy-on-write view of the stable image: the checksum
+    is verified against the stable buffer itself and no copy is taken until
+    the caller's first mutation.  The store never edits an installed image
+    in place (it replaces whole images), so the borrow stays coherent. *)
 
 val write : t -> Page.t -> unit
-(** Install a copy of the page image as the stable version, stamping its
-    checksum.  The caller's page is not modified. *)
+(** Install a checksum-stamped copy of the page image as the stable
+    version.  The caller's page is not modified. *)
 
 val corrupt_for_test : t -> int -> unit
 (** Flip a payload byte of the stored image (fault injection for checksum

@@ -11,6 +11,17 @@ type writer
 
 val writer : unit -> writer
 val contents : writer -> string
+
+val clear : writer -> unit
+(** Reset to empty, keeping the underlying storage — the log manager reuses
+    one scratch writer per append instead of allocating per record. *)
+
+val length : writer -> int
+
+val blit : writer -> src_off:int -> Bytes.t -> dst_off:int -> len:int -> unit
+(** Copy written bytes straight into [dst], skipping the intermediate
+    [contents] string. *)
+
 val w_u8 : writer -> int -> unit
 val w_u16 : writer -> int -> unit
 val w_u32 : writer -> int -> unit
@@ -24,6 +35,13 @@ val w_i64_array : writer -> int array -> unit
 type reader
 
 val reader : string -> reader
+
+val reader_sub : Bytes.t -> pos:int -> len:int -> reader
+(** Decode in place from [data.[pos .. pos+len)] — no substring is taken;
+    the recovery scan decodes every record straight out of the log buffer.
+    [reader_pos] stays absolute within [data].  The caller must not mutate
+    the range while the reader is live. *)
+
 val reader_pos : reader -> int
 val at_end : reader -> bool
 val r_u8 : reader -> int

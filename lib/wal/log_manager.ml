@@ -1,12 +1,7 @@
 exception Corrupt_record of int
 
-(* FNV-1a over the payload. *)
-let checksum_sub buf off len =
-  let h = ref 0x811C9DC5 in
-  for i = off to off + len - 1 do
-    h := (!h lxor Char.code (Bytes.get buf i)) * 0x01000193 land 0xFFFFFFFF
-  done;
-  !h
+(* Word-wide FNV-1a over the payload (same value as the byte-wise loop). *)
+let checksum_sub buf off len = Deut_storage.Fnv.sub buf ~off ~len
 
 let frame_header = 8
 
@@ -21,6 +16,16 @@ type t = {
   mutable read_disk : Deut_sim.Disk.t option;
   mutable trace : Deut_obs.Trace.t option;
   mutable on_append : (int -> unit) option;
+  scratch : Codec.writer;  (* reused across appends: no per-record buffer *)
+  mutable verified_upto : int;
+      (* Frames ending at or below this absolute offset have passed their
+         CRC check once.  Log bytes are immutable after append (only
+         [corrupt_for_test] edits them, and it pulls the watermark back),
+         so one verification per frame is sound: appends extend the
+         watermark when they land on it, [crash]/[crash_at] inherit it, and
+         [read_at] skips the payload hash below it — the redo scan of every
+         method after the first re-reads a frame it (or the appender)
+         already checked. *)
 }
 
 let create ~page_size =
@@ -36,6 +41,8 @@ let create ~page_size =
     read_disk = None;
     trace = None;
     on_append = None;
+    scratch = Codec.writer ();
+    verified_upto = 0;
   }
 
 let set_append_hook t hook = t.on_append <- hook
@@ -66,16 +73,18 @@ let ensure_capacity t extra =
   end
 
 let append t record =
-  let payload = Log_record.encode record in
-  let payload_len = String.length payload in
+  Codec.clear t.scratch;
+  Log_record.encode_into t.scratch record;
+  let payload_len = Codec.length t.scratch in
   let frame = frame_header + payload_len in
   ensure_capacity t frame;
   let lsn = t.len in
   let off = lsn - t.base in
   Bytes.set_int32_be t.data off (Int32.of_int payload_len);
-  Bytes.blit_string payload 0 t.data (off + frame_header) payload_len;
+  Codec.blit t.scratch ~src_off:0 t.data ~dst_off:(off + frame_header) ~len:payload_len;
   let crc = checksum_sub t.data (off + frame_header) payload_len in
   Bytes.set_int32_be t.data (off + 4) (Int32.of_int crc);
+  if t.verified_upto = lsn then t.verified_upto <- lsn + frame;
   t.len <- t.len + frame;
   t.records <- t.records + 1;
   (match t.on_append with Some f -> f lsn | None -> ());
@@ -109,15 +118,18 @@ let read_at t lsn =
   let payload_len = Int32.to_int (Bytes.get_int32_be t.data off) in
   let next = lsn + frame_header + payload_len in
   if next > t.len then invalid_arg "Log_manager.read_at: truncated frame";
-  let stored = Int32.to_int (Bytes.get_int32_be t.data (off + 4)) land 0xFFFFFFFF in
-  if stored <> checksum_sub t.data (off + frame_header) payload_len then
-    raise (Corrupt_record lsn);
-  let payload = Bytes.sub_string t.data (off + frame_header) payload_len in
-  (Log_record.decode payload, next)
+  if next > t.verified_upto then begin
+    let stored = Int32.to_int (Bytes.get_int32_be t.data (off + 4)) land 0xFFFFFFFF in
+    if stored <> checksum_sub t.data (off + frame_header) payload_len then
+      raise (Corrupt_record lsn);
+    if lsn <= t.verified_upto then t.verified_upto <- next
+  end;
+  (Log_record.decode_sub t.data ~pos:(off + frame_header) ~len:payload_len, next)
 
 let corrupt_for_test t lsn =
   let off = lsn - t.base + frame_header in
-  Bytes.set t.data off (Char.chr (Char.code (Bytes.get t.data off) lxor 0xFF))
+  Bytes.set t.data off (Char.chr (Char.code (Bytes.get t.data off) lxor 0xFF));
+  t.verified_upto <- Stdlib.min t.verified_upto lsn
 
 let attach_read_disk t disk = t.read_disk <- Some disk
 let detach_read_disk t = t.read_disk <- None
@@ -172,6 +184,8 @@ let crash t =
     read_disk = None;
     trace = None;
     on_append = None;
+    scratch = Codec.writer ();
+    verified_upto = Stdlib.min t.verified_upto t.stable;
   }
 
 let crash_at t lsn =
@@ -189,6 +203,8 @@ let crash_at t lsn =
     read_disk = None;
     trace = None;
     on_append = None;
+    scratch = Codec.writer ();
+    verified_upto = Stdlib.min t.verified_upto lsn;
   }
 
 let compact t ~keep_from =

@@ -95,7 +95,20 @@ type t =
   | Smo of smo
 
 val encode : t -> string
+
+val encode_into : Codec.writer -> t -> unit
+(** Append the encoding to [w] — the log manager threads one reusable
+    scratch writer through every append instead of allocating a fresh
+    buffer and [contents] string per record. *)
+
+val encoded_size : t -> int
+(** Exact byte length of [encode t], computed without encoding. *)
+
 val decode : string -> t
+
+val decode_sub : Bytes.t -> pos:int -> len:int -> t
+(** Decode one record in place from [data.[pos .. pos+len)] — no payload
+    substring is taken (the redo scan decodes every record once per pass). *)
 
 (** Uniform view of the records redo must (re)apply: ordinary updates and
     CLRs, which ARIES redoes exactly like updates ("redo-only" records). *)

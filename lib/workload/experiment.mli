@@ -47,7 +47,19 @@ type crash_run = {
   updates_run : int;
 }
 
-val build : scaled -> crash_run
+type build_cache
+(** Memoizes [build] by setup.  Sound because [build] is deterministic in
+    its [scaled] argument; recoveries copy the crash image before mutating
+    anything, so a cached run can back any number of them.  Costs memory:
+    every cached crash image (store + log) stays live — meant for the bench
+    harness, where several sections share setups. *)
+
+val build_cache : unit -> build_cache
+
+val drop_cache : build_cache -> unit
+(** Empty the cache, releasing every retained crash image. *)
+
+val build : ?cache:build_cache -> scaled -> crash_run
 (** Load, warm to cache equilibrium, run the crash protocol, leave one
     uncommitted transaction, crash. *)
 

@@ -13,19 +13,31 @@ type fig2_cell = {
   deltas_seen : int;
   bws_seen : int;
   methods : (Recovery.method_ * Rs.t) list;
+  build_wall_s : float;  (* real seconds to build workload + crash image *)
+  method_walls : (Recovery.method_ * float) list;  (* real seconds per recover+verify *)
 }
 
 let stats_of cell m = List.assoc m cell.methods
 let redo_ms_of cell m = Rs.redo_ms (stats_of cell m)
 
-let run_fig2 ?(scale = 64) ?(cache_sizes = paper_cache_sizes)
+let run_fig2 ?cache ?(scale = 64) ?(cache_sizes = paper_cache_sizes)
     ?(methods = Recovery.all_methods) ?(progress = no_progress) () =
   List.map
     (fun cache_mb ->
       progress (Printf.sprintf "fig2: cache %d MB (scale 1/%d)" cache_mb scale);
       let setup = Experiment.paper_setup ~scale ~cache_mb () in
-      let run = Experiment.build setup in
-      let results = Experiment.run_all run methods in
+      let t0 = Unix.gettimeofday () in
+      let run = Experiment.build ?cache setup in
+      let build_wall_s = Unix.gettimeofday () -. t0 in
+      let timed =
+        List.map
+          (fun m ->
+            let t0 = Unix.gettimeofday () in
+            let stats = Experiment.run_method run m in
+            (m, stats, Unix.gettimeofday () -. t0))
+          methods
+      in
+      let results = List.map (fun (m, s, _) -> (m, s)) timed in
       (* Δ/BW analysis counts come from any DPT-building method's stats. *)
       let counting =
         match List.find_opt (fun (m, _) -> m = Recovery.Log1) results with
@@ -40,6 +52,8 @@ let run_fig2 ?(scale = 64) ?(cache_sizes = paper_cache_sizes)
         deltas_seen = counting.Rs.deltas_seen;
         bws_seen = counting.Rs.bws_seen;
         methods = results;
+        build_wall_s;
+        method_walls = List.map (fun (m, _, w) -> (m, w)) timed;
       })
     cache_sizes
 
@@ -225,13 +239,13 @@ let costmodel cells =
 
 type fig3_cell = { multiplier : int; methods3 : (Recovery.method_ * Rs.t) list }
 
-let run_fig3 ?(scale = 64) ?(cache_mb = 512) ?(multipliers = [ 1; 5; 10 ])
+let run_fig3 ?cache ?(scale = 64) ?(cache_mb = 512) ?(multipliers = [ 1; 5; 10 ])
     ?(progress = no_progress) () =
   List.map
     (fun multiplier ->
       progress (Printf.sprintf "fig3: checkpoint interval %dx (scale 1/%d)" multiplier scale);
       let setup = Experiment.paper_setup ~scale ~cache_mb ~ckpt_multiplier:multiplier () in
-      let run = Experiment.build setup in
+      let run = Experiment.build ?cache setup in
       { multiplier; methods3 = Experiment.run_all run Recovery.all_methods })
     multipliers
 
@@ -261,11 +275,11 @@ type appd_row = {
   delta_kb : float;
 }
 
-let run_appd ?(scale = 64) ?(cache_mb = 512) ?(progress = no_progress) () =
+let run_appd ?cache ?(scale = 64) ?(cache_mb = 512) ?(progress = no_progress) () =
   let logical_variant label dpt_mode =
     progress (Printf.sprintf "appd: %s (scale 1/%d)" label scale);
     let setup = Experiment.paper_setup ~scale ~cache_mb ~dpt_mode () in
-    let run = Experiment.build setup in
+    let run = Experiment.build ?cache setup in
     let stats = Experiment.run_method run Recovery.Log1 in
     {
       label;
@@ -281,7 +295,7 @@ let run_appd ?(scale = 64) ?(cache_mb = 512) ?(progress = no_progress) () =
     let setup =
       Experiment.paper_setup ~scale ~cache_mb ~checkpoint_mode:Config.Aries_fuzzy ()
     in
-    let run = Experiment.build setup in
+    let run = Experiment.build ?cache setup in
     let stats = Experiment.run_method run Recovery.Aries_ckpt in
     {
       label = "ARIES-ckpt (physiological, §3.1)";
@@ -309,7 +323,7 @@ type split_row = {
   dc_log_kb : float;
 }
 
-let run_split ?(scale = 64) ?(cache_mb = 512) ?(progress = no_progress) () =
+let run_split ?cache ?(scale = 64) ?(cache_mb = 512) ?(progress = no_progress) () =
   let module Ci = Deut_core.Crash_image in
   let module Log = Deut_wal.Log_manager in
   List.concat_map
@@ -321,7 +335,7 @@ let run_split ?(scale = 64) ?(cache_mb = 512) ?(progress = no_progress) () =
       let setup =
         { setup with Experiment.config = { setup.Experiment.config with Config.log_layout = layout } }
       in
-      let run = Experiment.build setup in
+      let run = Experiment.build ?cache setup in
       let image = run.Experiment.image in
       let retained log = float_of_int (Log.end_lsn log - Log.base_lsn log) /. 1024.0 in
       let tc_kb = retained image.Ci.log in
@@ -413,13 +427,13 @@ type workers_cell = {
   w_engine : Es.t;
 }
 
-let run_workers ?(scale = 64) ?(cache_sizes = [ 64; 512 ]) ?(workers = [ 1; 2; 4; 8 ])
+let run_workers ?cache ?(scale = 64) ?(cache_sizes = [ 64; 512 ]) ?(workers = [ 1; 2; 4; 8 ])
     ?(methods = Recovery.all_methods) ?(progress = no_progress) () =
   List.concat_map
     (fun cache_mb ->
       progress (Printf.sprintf "workers: cache %d MB (scale 1/%d)" cache_mb scale);
       let setup = Experiment.paper_setup ~scale ~cache_mb () in
-      let run = Experiment.build setup in
+      let run = Experiment.build ?cache setup in
       List.concat_map
         (fun m ->
           List.map
@@ -647,7 +661,7 @@ let profiled_recovery run method_ config ~meta =
          (Trace.emitted tr));
   (Analysis.of_trace ~meta tr, stats)
 
-let run_tuning ?(scale = 64) ?(cache_sizes = [ 1024 ]) ?(methods = [ Recovery.Log2; Recovery.Sql2 ])
+let run_tuning ?cache ?(scale = 64) ?(cache_sizes = [ 1024 ]) ?(methods = [ Recovery.Log2; Recovery.Sql2 ])
     ?(windows = [ 8; 16; 32; 64 ]) ?(chunks = [ 4; 8; 16; 32 ])
     ?(lookaheads = [ 128; 256; 512; 1024 ]) ?(sources = [ Config.Pf_list; Config.Dpt_order ])
     ?(progress = no_progress) () =
@@ -655,7 +669,7 @@ let run_tuning ?(scale = 64) ?(cache_sizes = [ 1024 ]) ?(methods = [ Recovery.Lo
     (fun cache_mb ->
       progress (Printf.sprintf "tuning: cache %d MB (scale 1/%d)" cache_mb scale);
       let setup = Experiment.paper_setup ~scale ~cache_mb () in
-      let run = Experiment.build setup in
+      let run = Experiment.build ?cache setup in
       let base = setup.Experiment.config in
       let default_cand =
         {

@@ -15,9 +15,15 @@ type fig2_cell = {
   deltas_seen : int;  (** Figure 2(c): Δ records seen by analysis *)
   bws_seen : int;  (** Figure 2(c): BW records seen by analysis *)
   methods : (Deut_core.Recovery.method_ * Deut_core.Recovery_stats.t) list;
+  build_wall_s : float;
+      (** real (wall-clock) seconds spent building the workload and crash
+          image for this cell — runtime cost, not simulated time *)
+  method_walls : (Deut_core.Recovery.method_ * float) list;
+      (** real seconds per recover+verify, in [methods] order *)
 }
 
 val run_fig2 :
+  ?cache:Experiment.build_cache ->
   ?scale:int ->
   ?cache_sizes:int list ->
   ?methods:Deut_core.Recovery.method_ list ->
@@ -50,6 +56,7 @@ type fig3_cell = {
 }
 
 val run_fig3 :
+  ?cache:Experiment.build_cache ->
   ?scale:int ->
   ?cache_mb:int ->
   ?multipliers:int list ->
@@ -71,7 +78,7 @@ type appd_row = {
   delta_kb : float;  (** DC logging overhead during normal execution *)
 }
 
-val run_appd : ?scale:int -> ?cache_mb:int -> ?progress:(string -> unit) -> unit -> appd_row list
+val run_appd : ?cache:Experiment.build_cache -> ?scale:int -> ?cache_mb:int -> ?progress:(string -> unit) -> unit -> appd_row list
 (** The DC-logging spectrum of Appendix D — Standard, Perfect (D.1),
     Reduced (D.2), all recovered with Log1 — plus classic ARIES
     checkpointing recovered physiologically, as ablation baselines. *)
@@ -90,6 +97,7 @@ type split_row = {
 }
 
 val run_split :
+  ?cache:Experiment.build_cache ->
   ?scale:int -> ?cache_mb:int -> ?progress:(string -> unit) -> unit -> split_row list
 (** The Deuteronomy architecture proper vs the paper's integrated
     prototype: same workload, Log1/Log2 recovery from each layout.  Shows
@@ -107,6 +115,7 @@ type workers_cell = {
 }
 
 val run_workers :
+  ?cache:Experiment.build_cache ->
   ?scale:int ->
   ?cache_sizes:int list ->
   ?workers:int list ->
@@ -158,6 +167,7 @@ type tuning_cell = {
 }
 
 val run_tuning :
+  ?cache:Experiment.build_cache ->
   ?scale:int ->
   ?cache_sizes:int list ->
   ?methods:Deut_core.Recovery.method_ list ->

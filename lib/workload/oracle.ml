@@ -5,9 +5,21 @@ type t = {
   pending : (int, ((int * int) * change) list ref) Hashtbl.t;  (* txn -> buffered writes *)
   mutable queued : ((int * int) * change) list list;
       (* group-commit tail: committed but not yet durable, newest first *)
+  mutable version : int;  (* bumped on every [committed] mutation *)
+  entries_cache : (int, int * (int * string) list) Hashtbl.t;
+      (* table -> (version, sorted entries); [verify] runs once per recovery
+         method against the same oracle state, so the fold+sort over the
+         whole committed table is paid once, not five times *)
 }
 
-let create () = { committed = Hashtbl.create 4096; pending = Hashtbl.create 16; queued = [] }
+let create () =
+  {
+    committed = Hashtbl.create 4096;
+    pending = Hashtbl.create 16;
+    queued = [];
+    version = 0;
+    entries_cache = Hashtbl.create 8;
+  }
 let begin_txn t txn = Hashtbl.replace t.pending txn (ref [])
 
 let buffer t ~txn entry =
@@ -22,6 +34,7 @@ let commit t ~txn =
   match Hashtbl.find_opt t.pending txn with
   | None -> invalid_arg "Oracle.commit: transaction not begun"
   | Some changes ->
+      t.version <- t.version + 1;
       List.iter
         (fun (addr, change) ->
           match change with
@@ -40,6 +53,7 @@ let commit_queued t ~txn =
       Hashtbl.remove t.pending txn
 
 let force t =
+  if t.queued <> [] then t.version <- t.version + 1;
   List.iter
     (fun changes ->
       List.iter
@@ -56,8 +70,17 @@ let queued_commits t = List.length t.queued
 let committed_value t ~table ~key = Hashtbl.find_opt t.committed (table, key)
 
 let committed_entries t ~table =
-  Hashtbl.fold (fun (tbl, key) v acc -> if tbl = table then (key, v) :: acc else acc) t.committed []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  match Hashtbl.find_opt t.entries_cache table with
+  | Some (v, entries) when v = t.version -> entries
+  | _ ->
+      let entries =
+        Hashtbl.fold
+          (fun (tbl, key) v acc -> if tbl = table then (key, v) :: acc else acc)
+          t.committed []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      in
+      Hashtbl.replace t.entries_cache table (t.version, entries);
+      entries
 
 let entry_count t ~table =
   Hashtbl.fold (fun (tbl, _) _ n -> if tbl = table then n + 1 else n) t.committed 0

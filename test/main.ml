@@ -20,4 +20,5 @@ let () =
       ("parallel-redo", Test_parallel_redo.suite);
       ("concurrency", Test_concurrency.suite);
       ("analysis", Test_analysis.suite);
+      ("hotpath", Test_hotpath.suite);
     ]
