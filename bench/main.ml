@@ -67,7 +67,8 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_bench_json ~total_wall_s (fig2_cells : Figures.fig2_cell list) =
+let write_bench_json ~total_wall_s ~(archiving : Figures.archiving_cell list)
+    (fig2_cells : Figures.fig2_cell list) =
   let path =
     match Sys.getenv_opt "DEUT_BENCH_JSON" with Some p -> p | None -> "BENCH_recovery.json"
   in
@@ -85,6 +86,24 @@ let write_bench_json ~total_wall_s (fig2_cells : Figures.fig2_cell list) =
       add "    { \"name\": \"%s\", \"wall_s\": %.3f }%s\n" (json_escape name) w
         (if i < List.length sections - 1 then "," else ""))
     sections;
+  add "  ],\n";
+  add "  \"archiving\": [\n";
+  let n_arch = List.length archiving in
+  List.iteri
+    (fun i (cell : Figures.archiving_cell) ->
+      let last =
+        List.nth cell.Figures.a_rounds (List.length cell.Figures.a_rounds - 1)
+      in
+      add
+        "    { \"archive\": %b, \"rounds\": %d, \"final_logged_kb\": %.1f, \
+         \"final_live_kb\": %.1f, \"final_archived_kb\": %.1f, \"segments\": %d, \
+         \"digest\": \"%s\" }%s\n"
+        cell.Figures.a_archive
+        (List.length cell.Figures.a_rounds)
+        last.Figures.ar_logged_kb last.Figures.ar_live_kb last.Figures.ar_archive_kb
+        last.Figures.ar_segments (json_escape cell.Figures.a_digest)
+        (if i < n_arch - 1 then "," else ""))
+    archiving;
   add "  ],\n";
   add "  \"fig2\": [\n";
   let n_cells = List.length fig2_cells in
@@ -190,6 +209,20 @@ let () =
   section "CONCURRENCY";
   print_string (Figures.concurrency_table conc_cells);
 
+  (* Log archiving: the long-running multi-client workload with periodic
+     checkpoint + archive cuts.  The runner enforces the durability
+     contract (sealed coverage meets the live base every round), digest
+     equality with archiving off, a bounded live log, and oracle-verified
+     restart from the truncated log + archive with every method. *)
+  let arch_rounds = if quick then 4 else 8 in
+  let arch_txns = if quick then 60 else 120 in
+  let arch_cells =
+    timed_section "archiving" (fun () ->
+        Figures.run_archiving ~scale ~rounds:arch_rounds ~txns_per_round:arch_txns ~progress ())
+  in
+  section "ARCHIVING";
+  print_string (Figures.archiving_table arch_cells);
+
   (* Trace-mined prefetch tuning: sweep the prefetcher knobs per method,
      score candidates by stall-attributed time from the profiler. *)
   (* Quick mode tunes the 512 MB cell: smoke coverage is the same, and the
@@ -221,4 +254,4 @@ let () =
     (fun (name, w) -> Printf.printf "  %-14s %7.2f s\n" name w)
     (List.rev !section_walls);
   Printf.printf "  %-14s %7.2f s\n" "total" total_wall_s;
-  write_bench_json ~total_wall_s fig2_cells
+  write_bench_json ~total_wall_s ~archiving:arch_cells fig2_cells

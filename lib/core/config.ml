@@ -113,6 +113,18 @@ type t = {
           entirely when disabled and never advances the simulated clock
           either way *)
   trace_capacity : int;  (** trace ring-buffer size, in events *)
+  archive : bool;
+      (** archive the live log to sealed segments on a dedicated device and
+          truncate it at the archive point on every [Db.compact_log]; off
+          by default.  Archiving is a background overlay on the virtual
+          clock (segment writes are fire-and-forget on their own disk), so
+          enabling it cannot perturb simulated results.  Defaults from the
+          [DEUT_ARCHIVE] environment variable when set. *)
+  archive_min_bytes : int;
+      (** skip an archiving cut that would move fewer than this many bytes
+          (0 = cut whenever the archive point advances): batches segment
+          churn under workloads that checkpoint frequently *)
+  archive_disk : Deut_sim.Disk.params;  (** the archive device's cost model *)
   seed : int;
 }
 
@@ -137,11 +149,24 @@ let of_env config =
         match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> current)
     | None -> current
   in
+  let nonneg_int name current =
+    match Sys.getenv_opt name with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with Some n when n >= 0 -> n | _ -> current)
+    | None -> current
+  in
+  let flag name current =
+    match Sys.getenv_opt name with
+    | Some s -> ( match String.trim s with "1" | "true" | "yes" -> true | "0" | "false" | "no" -> false | _ -> current)
+    | None -> current
+  in
   {
     config with
     trace_capacity = pos_int "DEUT_TRACE_CAP" config.trace_capacity;
     redo_workers = pos_int "DEUT_REDO_WORKERS" config.redo_workers;
     clients = pos_int "DEUT_CLIENTS" config.clients;
+    archive = flag "DEUT_ARCHIVE" config.archive;
+    archive_min_bytes = nonneg_int "DEUT_ARCHIVE_MIN_BYTES" config.archive_min_bytes;
   }
 
 let default =
@@ -177,5 +202,19 @@ let default =
     retry_backoff_us = 150.0;
     tracing = false;
     trace_capacity = 65536;
+    archive = (match Sys.getenv_opt "DEUT_ARCHIVE" with
+              | Some s -> ( match String.trim s with "1" | "true" | "yes" -> true | _ -> false)
+              | None -> false);
+    archive_min_bytes = 0;
+    (* Sequential device: segment copies and restart scans are streaming
+       workloads, so give the archive a long sequential-gap like the log
+       disk's. *)
+    archive_disk =
+      {
+        Deut_sim.Disk.seek_us = 4000.0;
+        transfer_us = 50.0;
+        sequential_gap = 4;
+        batch_seek_factor = 0.75;
+      };
     seed = 42;
   }

@@ -135,7 +135,19 @@ let compact_log t =
           tc_point
           (Monitor.runtime_dpt (Dc.monitor t.engine.Engine.dc))
   in
-  if not (Deut_wal.Lsn.is_nil point) then Log_manager.compact t.engine.Engine.log ~keep_from:point;
+  (if not (Deut_wal.Lsn.is_nil point) then
+     let log = t.engine.Engine.log in
+     match Log_manager.archive log with
+     | Some a ->
+         (* Archiving on: seal the prefix into a segment before cutting
+            (never drop bytes), and batch cuts below the configured size. *)
+         let lo =
+           if Deut_wal.Archive.segment_count a > 0 then Deut_wal.Archive.covered_upto a
+           else Log_manager.base_lsn log
+         in
+         if point - lo >= (config t).Config.archive_min_bytes then
+           ignore (Log_manager.archive_to log ~upto:point)
+     | None -> Log_manager.compact log ~keep_from:point);
   if Engine.split t.engine then begin
     let dc_point = Dc.dc_archive_point t.engine.Engine.dc in
     if not (Deut_wal.Lsn.is_nil dc_point) then

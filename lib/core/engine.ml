@@ -6,6 +6,7 @@ module Clock = Deut_sim.Clock
 module Disk = Deut_sim.Disk
 module Page_store = Deut_storage.Page_store
 module Log_manager = Deut_wal.Log_manager
+module Archive = Deut_wal.Archive
 module Pool = Deut_buffer.Buffer_pool
 module Obs = Deut_obs.Obs
 module Trace = Deut_obs.Trace
@@ -17,6 +18,7 @@ type t = {
   data_disk : Disk.t;
   log_disk : Disk.t;
   dc_log_disk : Disk.t option;  (* the DC log's own device in the split layout *)
+  archive_disk : Disk.t option;  (* the archive's device when archiving is on *)
   store : Page_store.t;
   log : Log_manager.t;  (* the TC log; also carries DC records when integrated *)
   dc_log : Log_manager.t;  (* == [log] in the integrated layout *)
@@ -64,6 +66,17 @@ let register_gauges t =
   fi "log.dc.records" (fun () -> if split t then Log_manager.record_count t.dc_log else 0);
   fi "log.dc.end_lsn" (fun () -> if split t then Log_manager.end_lsn t.dc_log else 0);
   fi "log.dc.base_lsn" (fun () -> if split t then Log_manager.base_lsn t.dc_log else 0);
+  (* Archive gauges are registered unconditionally (0 with archiving off)
+     so dashboards and [Engine_stats] read a stable namespace. *)
+  let arch f = fun () -> match Log_manager.archive t.log with Some a -> f a | None -> 0 in
+  fi "archive.segments" (arch Archive.segment_count);
+  fi "archive.bytes" (arch Archive.sealed_bytes);
+  fi "archive.cuts" (arch Archive.seal_count);
+  fi "archive.covered_upto" (arch Archive.covered_upto);
+  fi "disk.archive.pages_written" (fun () ->
+      match t.archive_disk with Some d -> (Disk.counters d).Disk.pages_written | None -> 0);
+  fi "disk.archive.pages_read" (fun () ->
+      match t.archive_disk with Some d -> (Disk.counters d).Disk.pages_read | None -> 0);
   let monitor = Dc.monitor t.dc in
   fi "monitor.delta_records" (fun () -> Monitor.deltas_written monitor);
   fi "monitor.delta_bytes" (fun () -> Monitor.delta_bytes monitor);
@@ -110,6 +123,30 @@ let assemble ?dc_log config ~store ~log =
         Log_manager.instrument own ?trace ();
         (own, Some disk)
   in
+  (* Attach the archive when configured on — or when the log already
+     carries one, i.e. this engine is being assembled from a crash image of
+     an archiving incarnation: the segments are durable device state and
+     must stay readable even if the restart's config flag differs. *)
+  let archive_disk =
+    let existing = Log_manager.archive log in
+    if config.Config.archive || existing <> None then begin
+      let a =
+        match existing with
+        | Some a -> a
+        | None ->
+            let a = Archive.create ~page_size:config.Config.page_size in
+            Log_manager.attach_archive log a;
+            a
+      in
+      let disk = Disk.create ~params:config.Config.archive_disk clock in
+      Disk.instrument disk ?trace ~io_hist:(Metrics.histogram m "disk.archive.io_us")
+        ~track:Trace.track_archive_disk ();
+      Archive.attach_disk a disk;
+      Archive.instrument a ?trace ();
+      Some disk
+    end
+    else None
+  in
   let pool =
     Pool.create ~capacity:config.Config.pool_pages ~block_pages:config.Config.block_pages
       ~lazy_writer_every:config.Config.lazy_writer_every
@@ -122,7 +159,21 @@ let assemble ?dc_log config ~store ~log =
   in
   let tc = Tc.create ?trace ~config ~log () in
   let t =
-    { config; clock; data_disk; log_disk; dc_log_disk; store; log; dc_log; pool; dc; tc; obs }
+    {
+      config;
+      clock;
+      data_disk;
+      log_disk;
+      dc_log_disk;
+      archive_disk;
+      store;
+      log;
+      dc_log;
+      pool;
+      dc;
+      tc;
+      obs;
+    }
   in
   register_gauges t;
   t

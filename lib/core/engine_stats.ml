@@ -43,6 +43,13 @@ type t = {
   tc_log_forces : int;
   dc_log_records : int;
   dc_log_retained_bytes : int;
+  (* archive *)
+  archive_segments : int;
+  archive_bytes : int;
+  archive_cuts : int;
+  archive_pages_written : int;
+  archive_pages_read : int;
+  archive_io : latency;  (** disk.archive.io_us percentiles *)
   (* monitors *)
   delta_records : int;
   delta_bytes : int;
@@ -97,6 +104,11 @@ let capture (engine : Engine.t) =
   and tc_log_bytes = gi "log.tc.end_lsn"
   and tc_log_base = gi "log.tc.base_lsn"
   and tc_log_forces = gi "log.tc.forces"
+  and archive_segments = gi "archive.segments"
+  and archive_bytes = gi "archive.bytes"
+  and archive_cuts = gi "archive.cuts"
+  and archive_pages_written = gi "disk.archive.pages_written"
+  and archive_pages_read = gi "disk.archive.pages_read"
   and dc_log_records = gi "log.dc.records"
   and dc_log_bytes = gi "log.dc.end_lsn"
   and dc_log_base = gi "log.dc.base_lsn"
@@ -139,6 +151,12 @@ let capture (engine : Engine.t) =
     tc_log_forces;
     dc_log_records;
     dc_log_retained_bytes = dc_log_bytes - dc_log_base;
+    archive_segments;
+    archive_bytes;
+    archive_cuts;
+    archive_pages_written;
+    archive_pages_read;
+    archive_io = latency "disk.archive.io_us";
     delta_records;
     delta_bytes;
     bw_records;
@@ -178,6 +196,12 @@ let to_string t =
   if t.split_logs then
     line "dc log:     %d records, %d bytes retained (split layout)" t.dc_log_records
       t.dc_log_retained_bytes;
+  if t.archive_segments > 0 || t.archive_cuts > 0 then begin
+    line "archive:    %d segments (%d B sealed), %d cuts; %d pages written, %d read"
+      t.archive_segments t.archive_bytes t.archive_cuts t.archive_pages_written
+      t.archive_pages_read;
+    lat "  arch lat: " t.archive_io
+  end;
   line "monitors:   %d Δ records (%d B), %d BW records (%d B)" t.delta_records t.delta_bytes
     t.bw_records t.bw_bytes;
   if t.txn_commits > 0 || t.txn_aborts > 0 then begin

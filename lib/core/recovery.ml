@@ -358,6 +358,8 @@ let recover ?config ?undo_fault_after_clrs image method_ =
   Dc.set_merge_allowed dc false;
   let log_disk_counters = Disk.counters engine.Engine.log_disk in
   let dc_log_disk_counters = Option.map Disk.counters engine.Engine.dc_log_disk in
+  (* Archived pages a restart scan reads are log pages on another device. *)
+  let archive_disk_counters = Option.map Disk.counters engine.Engine.archive_disk in
   (* Phase 1: analysis / DC recovery.  The DC scans its own records: the
      shared log from the checkpoint when integrated, its entire (short)
      private log when split. *)
@@ -424,7 +426,8 @@ let recover ?config ?undo_fault_after_clrs image method_ =
     (c.Pool.stall_us -. Metrics.value stats.Recovery_stats.index_stall_us);
   Metrics.add stats.Recovery_stats.log_pages_read
     (log_disk_counters.Disk.pages_read
-    + (match dc_log_disk_counters with Some c -> c.Disk.pages_read | None -> 0));
+    + (match dc_log_disk_counters with Some c -> c.Disk.pages_read | None -> 0)
+    + (match archive_disk_counters with Some c -> c.Disk.pages_read | None -> 0));
   Metrics.add stats.Recovery_stats.prefetch_issued c.Pool.prefetch_issued;
   Metrics.add stats.Recovery_stats.prefetch_hits c.Pool.prefetch_hits;
   Metrics.add stats.Recovery_stats.stalls c.Pool.stalls;

@@ -27,7 +27,9 @@ let track_log_disk = 3
 let track_dc_log_disk = 4
 let track_wal = 5
 let track_monitor = 6
-let track_worker w = 7 + w
+let track_archive_disk = 7
+let worker_track_base = 8
+let track_worker w = worker_track_base + w
 let client_track_base = 64
 let track_client c = client_track_base + c
 
@@ -39,8 +41,9 @@ let track_name = function
   | 4 -> "dc-log-disk"
   | 5 -> "wal"
   | 6 -> "monitor"
+  | 7 -> "archive-disk"
   | n when n >= client_track_base -> "client-" ^ string_of_int (n - client_track_base)
-  | n when n >= 7 -> "redo-worker-" ^ string_of_int (n - 7)
+  | n when n >= worker_track_base -> "redo-worker-" ^ string_of_int (n - worker_track_base)
   | n -> "track-" ^ string_of_int n
 
 let dummy =

@@ -39,9 +39,13 @@ val track_wal : int  (** log manager: forces *)
 
 val track_monitor : int  (** TC/DC monitor: delta / BW emission *)
 
+val track_archive_disk : int
+(** The archive device and the archiver's lifecycle events
+    ([archive_seal] / [archive_truncate] instants, segment write IO). *)
+
 val track_worker : int -> int
 (** [track_worker w] is the lane for simulated redo worker [w] (lanes
-    7–63).  Parallel replay routes each worker's [redo_op] and [stall]
+    8–63).  Parallel replay routes each worker's [redo_op] and [stall]
     spans here so a trace shows per-worker IO overlap. *)
 
 val track_client : int -> int

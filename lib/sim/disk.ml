@@ -115,6 +115,13 @@ let submit_write t ~pid =
   note t ~ev:"io_write" ~start ~completion ~args:[ ("pid", pid) ];
   completion
 
+let submit_sequential_write t ~first_pid ~count =
+  let start, completion = submit t ~first_pid ~count in
+  t.counters.pages_written <- t.counters.pages_written + count;
+  note t ~ev:"io_write_seq" ~start ~completion
+    ~args:[ ("first_pid", first_pid); ("count", count) ];
+  completion
+
 let submit_batch_read t pids =
   match List.sort Int.compare pids with
   | [] -> busy_until t

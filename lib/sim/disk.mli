@@ -74,6 +74,12 @@ val submit_write : t -> pid:int -> float
     time.  Flushes are fire-and-forget for timing purposes but still occupy
     the disk, delaying reads that queue behind them. *)
 
+val submit_sequential_write : t -> first_pid:int -> count:int -> float
+(** Queue a write of [count] contiguous pages as a single request (archive
+    segment writes); returns its completion time without waiting.  Like
+    {!submit_write}, fire-and-forget: the device stays busy but the caller's
+    clock does not advance. *)
+
 val read_sequential_sync : t -> first_pid:int -> count:int -> unit
 (** Synchronously read [count] contiguous pages (log scan IO) and advance
     the clock to completion. *)

@@ -5,6 +5,12 @@ let checksum_sub buf off len = Deut_storage.Fnv.sub buf ~off ~len
 
 let frame_header = 8
 
+type archive_step =
+  | Archive_segment_partial
+  | Archive_segment_sealed
+  | Archive_truncate_torn
+  | Archive_truncated
+
 type t = {
   page_size : int;
   mutable base : int;  (* absolute offset of data.(0): bytes before it were archived *)
@@ -16,6 +22,10 @@ type t = {
   mutable read_disk : Deut_sim.Disk.t option;
   mutable trace : Deut_obs.Trace.t option;
   mutable on_append : (int -> unit) option;
+  mutable archive : Archive.t option;
+      (* sealed segments holding bytes below [base]; reads span the two
+         stores transparently *)
+  mutable on_archive : (archive_step -> unit) option;
   scratch : Codec.writer;  (* reused across appends: no per-record buffer *)
   mutable verified_upto : int;
       (* Frames ending at or below this absolute offset have passed their
@@ -41,11 +51,16 @@ let create ~page_size =
     read_disk = None;
     trace = None;
     on_append = None;
+    archive = None;
+    on_archive = None;
     scratch = Codec.writer ();
     verified_upto = 0;
   }
 
 let set_append_hook t hook = t.on_append <- hook
+let set_archive_hook t hook = t.on_archive <- hook
+let attach_archive t a = t.archive <- Some a
+let archive t = t.archive
 
 let instrument t ?trace () = t.trace <- trace
 
@@ -111,9 +126,26 @@ let force_upto t lsn =
     end
   end
 
+(* Serve an offset below [base] from the archive.  Sealed-segment checksums
+   cover every frame at once (verified on the incarnation's first access),
+   so the per-frame CRC is skipped here.  Segments begin and end on record
+   boundaries, hence a frame never straddles two of them. *)
+let read_archived t lsn =
+  match t.archive with
+  | Some a when Archive.contains a lsn ->
+      let buf, off = Archive.locate a lsn in
+      let payload_len = Int32.to_int (Bytes.get_int32_be buf off) in
+      ( Log_record.decode_sub buf ~pos:(off + frame_header) ~len:payload_len,
+        lsn + frame_header + payload_len )
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Log_manager.read_at: offset %d out of range [%d,%d)" lsn t.base t.len)
+
 let read_at t lsn =
-  if lsn < t.base || lsn + frame_header > t.len then
-    invalid_arg (Printf.sprintf "Log_manager.read_at: offset %d out of range [%d,%d)" lsn t.base t.len);
+  if lsn < t.base then read_archived t lsn
+  else if lsn + frame_header > t.len then
+    invalid_arg (Printf.sprintf "Log_manager.read_at: offset %d out of range [%d,%d)" lsn t.base t.len)
+  else begin
   let off = lsn - t.base in
   let payload_len = Int32.to_int (Bytes.get_int32_be t.data off) in
   let next = lsn + frame_header + payload_len in
@@ -125,6 +157,7 @@ let read_at t lsn =
     if lsn <= t.verified_upto then t.verified_upto <- next
   end;
   (Log_record.decode_sub t.data ~pos:(off + frame_header) ~len:payload_len, next)
+  end
 
 let corrupt_for_test t lsn =
   let off = lsn - t.base + frame_header in
@@ -141,13 +174,27 @@ let charge_page t page_index =
   | None -> ()
   | Some disk -> Deut_sim.Disk.read_sequential_sync disk ~first_pid:page_index ~count:1
 
+(* The lowest offset a scan can start from: the first archived byte when
+   segments exist, otherwise the live base. *)
+let scan_floor t =
+  match t.archive with
+  | Some a -> ( match Archive.start_lsn a with Some s -> s | None -> t.base)
+  | None -> t.base
+
 let iter t ~from ?upto f =
   let upto = match upto with Some u -> Stdlib.min u t.len | None -> t.stable in
-  let start = if Lsn.is_nil from then t.base else from in
-  if start < t.base then
+  let floor = scan_floor t in
+  let start = if Lsn.is_nil from then floor else from in
+  if start < floor then
     invalid_arg
-      (Printf.sprintf "Log_manager.iter: scan start %d precedes archived boundary %d" start t.base);
+      (Printf.sprintf "Log_manager.iter: scan start %d precedes archived boundary %d" start floor);
   let last_page = ref (-1) in
+  (* Pages holding archived bytes are charged to the archive device, the
+     rest to the live log disk — same per-page accounting, separate lanes. *)
+  let charge lsn p =
+    if lsn < t.base then (match t.archive with Some a -> Archive.charge_page a p | None -> ())
+    else charge_page t p
+  in
   let rec loop lsn =
     if lsn < upto then begin
       let page = lsn / t.page_size in
@@ -156,7 +203,7 @@ let iter t ~from ?upto f =
            large records spanning pages are accounted in full. *)
         let first = if !last_page < 0 then page else !last_page + 1 in
         for p = first to page do
-          charge_page t p
+          charge lsn p
         done;
         last_page := page
       end;
@@ -184,6 +231,8 @@ let crash t =
     read_disk = None;
     trace = None;
     on_append = None;
+    archive = Option.map Archive.crash t.archive;
+    on_archive = None;
     scratch = Codec.writer ();
     verified_upto = Stdlib.min t.verified_upto t.stable;
   }
@@ -203,6 +252,8 @@ let crash_at t lsn =
     read_disk = None;
     trace = None;
     on_append = None;
+    archive = Option.map Archive.crash t.archive;
+    on_archive = None;
     scratch = Codec.writer ();
     verified_upto = Stdlib.min t.verified_upto lsn;
   }
@@ -220,3 +271,58 @@ let compact t ~keep_from =
 
 let pages_between t lo hi =
   if hi <= lo then 0 else ((hi - 1) / t.page_size) - (lo / t.page_size) + 1
+
+(* The record boundary closest to the midpoint of [lo, upto), found by
+   hopping frames.  Gives the torn-truncation crash point a legal [compact]
+   target strictly inside the range (when one exists). *)
+let mid_boundary t ~lo ~upto =
+  let target = lo + ((upto - lo) / 2) in
+  let rec hop lsn =
+    if lsn >= target || lsn + frame_header > upto then lsn
+    else
+      let payload_len = Int32.to_int (Bytes.get_int32_be t.data (lsn - t.base)) in
+      let next = lsn + frame_header + payload_len in
+      if next > upto then lsn else hop next
+  in
+  hop lo
+
+let fire t step = match t.on_archive with Some f -> f step | None -> ()
+
+let archive_to t ~upto =
+  match t.archive with
+  | None -> false
+  | Some a ->
+      if upto > t.stable then
+        invalid_arg "Log_manager.archive_to: cannot archive past the stable prefix";
+      (* After a crash between seal and truncate the archive already covers
+         bytes the live log still holds; the next segment resumes where the
+         sealed run ends, never re-copying. *)
+      let lo = if Archive.segment_count a > 0 then Archive.covered_upto a else t.base in
+      if upto <= lo then false
+      else begin
+        let len = upto - lo in
+        (* Pick the torn-truncation point before any bytes move: it must be
+           a frame boundary read from the still-intact live data. *)
+        let mid = mid_boundary t ~lo ~upto in
+        Archive.begin_segment a ~lo ~len;
+        let half = len / 2 in
+        Archive.append_bytes a ~src:t.data ~src_off:(lo - t.base) ~len:half;
+        fire t Archive_segment_partial;
+        Archive.append_bytes a ~src:t.data ~src_off:(lo - t.base + half) ~len:(len - half);
+        Archive.seal a;
+        fire t Archive_segment_sealed;
+        if mid > t.base && mid < upto then begin
+          compact t ~keep_from:mid;
+          fire t Archive_truncate_torn
+        end;
+        compact t ~keep_from:upto;
+        (match t.trace with
+        | Some tr ->
+            Deut_obs.Trace.instant tr ~name:"archive_truncate" ~cat:"archive"
+              ~track:Deut_obs.Trace.track_archive_disk
+              ~args:[ ("lo", lo); ("upto", upto) ]
+              ()
+        | None -> ());
+        fire t Archive_truncated;
+        true
+      end

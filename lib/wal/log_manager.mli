@@ -53,8 +53,11 @@ exception Corrupt_record of Lsn.t
 
 val read_at : t -> Lsn.t -> Log_record.t * Lsn.t
 (** [read_at t lsn] decodes the record at [lsn] and returns it with the LSN
-    of the following record.  Raises [Invalid_argument] on a bad offset and
-    {!Corrupt_record} on checksum failure. *)
+    of the following record.  Offsets below [base_lsn] are served from the
+    attached archive when a sealed segment covers them (whole-segment
+    checksum verified on the incarnation's first access; may raise
+    {!Archive.Corrupt_segment}).  Raises [Invalid_argument] on a bad offset
+    and {!Corrupt_record} on a live-frame checksum failure. *)
 
 val corrupt_for_test : t -> Lsn.t -> unit
 (** Flip a byte of the record's payload (fault injection for tests). *)
@@ -67,13 +70,18 @@ val detach_read_disk : t -> unit
 val iter : t -> from:Lsn.t -> ?upto:Lsn.t -> (Lsn.t -> Log_record.t -> unit) -> unit
 (** [iter t ~from ?upto f] decodes records in order, calling [f lsn record].
     [upto] (exclusive) defaults to the stable end — recovery never sees the
-    lost tail.  [from] = [Lsn.nil] starts at the beginning. *)
+    lost tail.  [from] = [Lsn.nil] starts at the beginning: the first
+    archived byte when an archive holds sealed segments, else [base_lsn].
+    The scan spans archive and live log transparently, charging each page
+    to the device that holds it. *)
 
 val fold : t -> from:Lsn.t -> ?upto:Lsn.t -> init:'a -> ('a -> Lsn.t -> Log_record.t -> 'a) -> 'a
 
 val crash : t -> t
 (** The log as a recovering system sees it: a deep copy truncated to the
-    stable prefix, with no disk attached. *)
+    stable prefix, with no disk attached.  An attached archive survives the
+    crash as {!Archive.crash} of itself — segments are durable device
+    state, exactly what a real restart would find. *)
 
 val crash_at : t -> Lsn.t -> t
 (** [crash] truncated at an arbitrary record boundary instead of the
@@ -95,3 +103,41 @@ val compact : t -> keep_from:Lsn.t -> unit
 val pages_between : t -> Lsn.t -> Lsn.t -> int
 (** Number of log pages spanned by the byte range — the log-read IO a scan
     of that range performs. *)
+
+(** {1 Archiving}
+
+    [archive_to] runs the seal-then-truncate protocol that keeps the
+    durability contract (DESIGN.md §8): copy [\[lo, upto)] into a new
+    segment, seal it under its checksum, and only then cut the live log.
+    A crash at any step loses nothing — before the seal the bytes are
+    still live, after it they are archived. *)
+
+type archive_step =
+  | Archive_segment_partial
+      (** half the segment's bytes copied; segment unsealed *)
+  | Archive_segment_sealed
+      (** segment sealed and durable; live log not yet truncated *)
+  | Archive_truncate_torn
+      (** truncation stopped at a record boundary partway to the archive
+          point *)
+  | Archive_truncated  (** live log cut at the archive point *)
+
+val attach_archive : t -> Archive.t -> unit
+(** Give the log an archived-segment store.  Reads and scans then span the
+    two stores transparently, and [archive_to] becomes operative. *)
+
+val archive : t -> Archive.t option
+
+val set_archive_hook : t -> (archive_step -> unit) option -> unit
+(** Observe the archiving protocol: the hook runs after each step of
+    [archive_to], mirroring [set_append_hook] — the crash-point harness
+    captures an image at each step to prove recovery from it.  Copies made
+    by [crash] / [crash_at] never inherit the hook. *)
+
+val archive_to : t -> upto:Lsn.t -> bool
+(** Archive live bytes up to [upto] (exclusive; a record boundary at or
+    below the stable point — typically [Tc.log_archive_point]) and truncate
+    the live log there.  Resumes after the sealed run when a previous
+    incarnation crashed between seal and truncate, never re-copying.
+    Returns [false] when no archive is attached or there is nothing new to
+    archive.  Raises [Invalid_argument] past the stable prefix. *)

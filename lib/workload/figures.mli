@@ -158,6 +158,45 @@ val concurrency_table : concurrency_cell list -> string
 (** Throughput, abort rate, wound/conflict counts and commit-latency
     p50/p95 per (clients, group_commit) row. *)
 
+(** One round of the log-archiving growth sweep. *)
+type archiving_round = {
+  ar_round : int;
+  ar_logged_kb : float;  (** total bytes ever appended to the log *)
+  ar_live_kb : float;  (** bytes the live log still retains *)
+  ar_archive_kb : float;  (** sealed archive-segment payload *)
+  ar_segments : int;
+}
+
+(** One (archive on/off) cell of the archiving sweep. *)
+type archiving_cell = {
+  a_archive : bool;
+  a_rounds : archiving_round list;
+  a_digest : string;  (** final logical digest — equal in both cells *)
+  a_methods : (Deut_core.Recovery.method_ * Deut_core.Recovery_stats.t) list;
+      (** post-crash recoveries, every one oracle-verified *)
+}
+
+val run_archiving :
+  ?scale:int ->
+  ?cache_mb:int ->
+  ?clients:int ->
+  ?rounds:int ->
+  ?txns_per_round:int ->
+  ?progress:(string -> unit) ->
+  unit ->
+  archiving_cell list
+(** The long-running multi-client workload with periodic checkpoint +
+    archive cuts, run twice — archiving off then on — with the same seed.
+    Checks on every round that sealed coverage meets the live base (the
+    durability contract), that the final digests match across the two
+    cells, that the live log ends bounded below the total logged bytes,
+    and that all five methods recover the oracle state from the truncated
+    log; raises on any violation.  Defaults: scale 64, cache 256 MB,
+    4 clients, 6 rounds of 100 transactions. *)
+
+val archiving_table : archiving_cell list -> string
+(** Round-by-round growth table plus a per-method restart comparison. *)
+
 (** One (cache size, method) cell of the trace-mined prefetch-tuning sweep. *)
 type tuning_cell = {
   t_cache_mb : int;

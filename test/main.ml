@@ -17,6 +17,7 @@ let () =
       ("locks", Test_locks.suite);
       ("trace", Test_trace.suite);
       ("crash-points", Test_crash_points.suite);
+      ("archive", Test_archive.suite);
       ("parallel-redo", Test_parallel_redo.suite);
       ("concurrency", Test_concurrency.suite);
       ("analysis", Test_analysis.suite);

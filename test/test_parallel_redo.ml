@@ -136,12 +136,12 @@ let test_worker_trace_lanes () =
     | None -> Alcotest.fail "tracing enabled but engine has no trace"
   in
   let events = Trace.events tr in
-  let on_worker_lane name ev = ev.Trace.name = name && ev.Trace.track >= 7 in
+  let on_worker_lane name ev = ev.Trace.name = name && ev.Trace.track >= Trace.track_worker 0 in
   check "redo_op spans land on worker lanes" true
     (List.exists (on_worker_lane "redo_op") events);
   check "stall spans land on worker lanes" true (List.exists (on_worker_lane "stall") events);
   check "no event beyond the configured worker lanes" false
-    (List.exists (fun ev -> ev.Trace.track > 7 + 3) events);
+    (List.exists (fun ev -> ev.Trace.track > Trace.track_worker 3) events);
   let json = Trace.to_chrome_json tr in
   let contains needle hay =
     let nl = String.length needle and hl = String.length hay in
