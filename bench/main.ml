@@ -68,7 +68,7 @@ let json_escape s =
   Buffer.contents b
 
 let write_bench_json ~total_wall_s ~(archiving : Figures.archiving_cell list)
-    (fig2_cells : Figures.fig2_cell list) =
+    ~(availability : Figures.availability_cell list) (fig2_cells : Figures.fig2_cell list) =
   let path =
     match Sys.getenv_opt "DEUT_BENCH_JSON" with Some p -> p | None -> "BENCH_recovery.json"
   in
@@ -104,6 +104,20 @@ let write_bench_json ~total_wall_s ~(archiving : Figures.archiving_cell list)
         last.Figures.ar_segments (json_escape cell.Figures.a_digest)
         (if i < n_arch - 1 then "," else ""))
     archiving;
+  add "  ],\n";
+  add "  \"availability\": [\n";
+  let n_av = List.length availability in
+  List.iteri
+    (fun i (c : Figures.availability_cell) ->
+      add
+        "    { \"cache_mb\": %d, \"ttft_ms\": %.3f, \"drained_ms\": %.3f, \
+         \"log2_total_ms\": %.3f, \"speedup\": %.2f, \"pages_ondemand\": %d, \
+         \"pages_background\": %d, \"probe_reads\": %d }%s\n"
+        c.Figures.v_cache_mb c.Figures.v_ttft_ms c.Figures.v_drained_ms
+        c.Figures.v_log2_total_ms c.Figures.v_speedup c.Figures.v_pages_ondemand
+        c.Figures.v_pages_background c.Figures.v_probe_reads
+        (if i < n_av - 1 then "," else ""))
+    availability;
   add "  ],\n";
   add "  \"fig2\": [\n";
   let n_cells = List.length fig2_cells in
@@ -223,6 +237,16 @@ let () =
   section "ARCHIVING";
   print_string (Figures.archiving_table arch_cells);
 
+  (* Instant recovery: availability vs cache size.  The runner enforces
+     the determinism gate (drained InstantLog2 digest byte-identical to
+     Log2 at every cache size) before reporting the TTFT / drain split. *)
+  let avail_cells =
+    timed_section "availability" (fun () ->
+        Figures.run_availability ~cache:build_cache ~scale ~cache_sizes ~progress ())
+  in
+  section "INSTANT RECOVERY (AVAILABILITY)";
+  print_string (Figures.availability_table avail_cells);
+
   (* Trace-mined prefetch tuning: sweep the prefetcher knobs per method,
      score candidates by stall-attributed time from the profiler. *)
   (* Quick mode tunes the 512 MB cell: smoke coverage is the same, and the
@@ -254,4 +278,4 @@ let () =
     (fun (name, w) -> Printf.printf "  %-14s %7.2f s\n" name w)
     (List.rev !section_walls);
   Printf.printf "  %-14s %7.2f s\n" "total" total_wall_s;
-  write_bench_json ~total_wall_s ~archiving:arch_cells fig2_cells
+  write_bench_json ~total_wall_s ~archiving:arch_cells ~availability:avail_cells fig2_cells

@@ -69,6 +69,7 @@ let method_conv =
     | "sql1" -> Ok Recovery.Sql1
     | "sql2" -> Ok Recovery.Sql2
     | "aries" | "aries-ckpt" -> Ok Recovery.Aries_ckpt
+    | "instant" | "instant-log2" -> Ok Recovery.InstantLog2
     | other -> Error (`Msg (Printf.sprintf "unknown recovery method %S" other))
   in
   Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Recovery.method_to_string m))
@@ -553,6 +554,63 @@ let tune_cmd =
       const run $ scale_arg $ cache_arg $ method_pos_arg $ windows_arg $ chunks_arg
       $ lookaheads_arg)
 
+let instant_cmd =
+  let min_speedup_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-speedup" ] ~docv:"R"
+          ~doc:
+            "Gate: fail (exit 1) unless time-to-full-recovery is at least $(docv)x the \
+             time-to-first-transaction at the smallest cache size.")
+  in
+  let probes_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "probes" ] ~docv:"N"
+          ~doc:"Probe reads served while the background redo is still draining.")
+  in
+  let run scale cache_sizes probes min_speedup =
+    let cells = Figures.run_availability ~scale ~cache_sizes ~probes ~progress () in
+    print_string (Figures.availability_table cells);
+    match min_speedup with
+    | None -> ()
+    | Some r -> (
+        match
+          List.fold_left
+            (fun acc (c : Figures.availability_cell) ->
+              match acc with
+              | Some (b : Figures.availability_cell) when b.Figures.v_cache_mb <= c.Figures.v_cache_mb ->
+                  acc
+              | _ -> Some c)
+            None cells
+        with
+        | None ->
+            Printf.eprintf "FAIL: no availability cells were produced\n";
+            exit 1
+        | Some smallest ->
+            print_newline ();
+            if smallest.Figures.v_speedup < r then begin
+              Printf.eprintf
+                "FAIL: availability gate — %.1fx at %d MB, need >= %.1fx (open %.3f ms, \
+                 drained %.3f ms)\n"
+                smallest.Figures.v_speedup smallest.Figures.v_cache_mb r
+                smallest.Figures.v_ttft_ms smallest.Figures.v_drained_ms;
+              exit 1
+            end;
+            Printf.printf "availability gate OK: %.1fx at %d MB (need >= %.1fx)\n"
+              smallest.Figures.v_speedup smallest.Figures.v_cache_mb r)
+  in
+  Cmd.v
+    (Cmd.info "instant"
+       ~doc:
+         "Instant-recovery availability sweep: per cache size, recover with InstantLog2 and \
+          report time-to-first-transaction vs time-to-full-recovery.  Each cell first \
+          proves the determinism gate — the drained InstantLog2 state is byte-identical to \
+          offline Log2 — then serves probe reads during the staged drain.  With \
+          $(b,--min-speedup), acts as a regression gate on the availability win.")
+    Term.(const run $ scale_arg $ cache_sizes_arg $ probes_arg $ min_speedup_arg)
+
 let metrics_cmd =
   let run scale cache method_ =
     let db, _stats = recover_standard ~scale ~cache ~tracing:false method_ in
@@ -585,5 +643,6 @@ let () =
             trace_cmd;
             analyze_cmd;
             tune_cmd;
+            instant_cmd;
             metrics_cmd;
           ]))

@@ -63,6 +63,7 @@ type t = {
   mutable stall_hist : Deut_obs.Metrics.histogram option;
   mutable stall_track : int option;  (* trace lane override for stall spans *)
   mutable fetch_index : bool;  (* current fetches belong to an index traversal *)
+  mutable redo_hook : (int -> unit) option;  (* instant recovery's replay-on-touch *)
 }
 
 let dummy_page = Page.create ~page_size:Page.header_size ~pid:(-1) Page.Free
@@ -116,6 +117,7 @@ let create ~capacity ?(block_pages = 8) ?(lazy_writer_every = 0) ?(lazy_writer_m
     stall_hist = None;
     stall_track = None;
     fetch_index = false;
+    redo_hook = None;
   }
 
 let instrument t ?trace ?stall_hist () =
@@ -176,7 +178,19 @@ let drop_in_flight t pid =
       Hashtbl.remove t.in_flight pid;
       t.lane_in_flight.(lane) <- t.lane_in_flight.(lane) - 1
 
+let set_redo_hook t hook = t.redo_hook <- hook
+
+(* Instant recovery's replay-on-touch.  The hook fires on every [get]
+   (hits included: analysis installs dirty images straight into the cache)
+   and at the top of every frame flush, so a page can neither be served to
+   a client nor written back to the store with redo still pending.  The
+   hook is re-entrant by construction — the replayer removes the page from
+   its pending set before applying — so the nested [get]s it performs
+   settle immediately. *)
+let run_redo_hook t pid = match t.redo_hook with None -> () | Some h -> h pid
+
 let flush_frame t f =
+  run_redo_hook t f.pid;
   t.hooks.ensure_stable ~tc_lsn:(Page.plsn f.page) ~dc_lsn:(Page.dc_plsn f.page);
   Page_store.write t.store f.page;
   ignore (Disk.submit_write t.disk ~pid:f.pid);
@@ -318,6 +332,7 @@ let note_fetch t ~pid ~start ~prefetched ~late =
   | None -> ()
 
 let get t ?(pin = false) pid =
+  run_redo_hook t pid;
   let f =
     match Hashtbl.find_opt t.by_pid pid with
     | Some slot ->

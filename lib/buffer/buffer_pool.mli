@@ -144,6 +144,14 @@ val set_fetch_index : t -> bool -> unit
     B-tree traversals so the trace attributes the fetch split the same way
     the counters do. *)
 
+val set_redo_hook : t -> (int -> unit) option -> unit
+(** Instant recovery's replay-on-touch hook.  While set, the hook runs
+    with the page id at the top of every [get] (hits included — analysis
+    installs dirty images straight into the cache) and before every frame
+    flush (eviction, lazy writer, checkpoint, explicit), so a page can
+    neither be served nor written back while its redo is still pending.
+    The hook must be re-entrant: the [get]s it performs run it again. *)
+
 val set_lazy_writer_enabled : t -> bool -> unit
 (** Recovery drivers switch the background writer off during their passes
     (a recovering system defers cleaning until it is open for business) and

@@ -3,7 +3,23 @@ module Log_manager = Deut_wal.Log_manager
 module Pool = Deut_buffer.Buffer_pool
 module Btree = Deut_btree.Btree
 
-type t = { engine : Engine.t; mutable crashed : bool }
+type t = {
+  engine : Engine.t;
+  mutable crashed : bool;
+  mutable redo_pending : bool;
+  (* The instant-recovery session while redo is still pending: keyed
+     client operations are gated on it (a touch of a key some loser wrote
+     forces rollback first), whole-table scans force rollback outright. *)
+  mutable instant_sess : Recovery.instant option;
+}
+
+let touch_gate t ~table ~key =
+  match t.instant_sess with
+  | Some sess -> Recovery.instant_touch_key sess ~table ~key
+  | None -> ()
+
+let scan_gate t =
+  match t.instant_sess with Some sess -> Recovery.instant_force_undo sess | None -> ()
 
 type error = Db_error.t =
   | Lock_conflict of { holder : int }
@@ -23,8 +39,10 @@ module Txn = struct
   let finished t = t.finished
 end
 
-let create ?(config = Config.default) () = { engine = Engine.fresh config; crashed = false }
-let of_engine engine = { engine; crashed = false }
+let create ?(config = Config.default) () =
+  { engine = Engine.fresh config; crashed = false; redo_pending = false; instant_sess = None }
+
+let of_engine engine = { engine; crashed = false; redo_pending = false; instant_sess = None }
 let engine t = t.engine
 let config t = t.engine.Engine.config
 
@@ -60,21 +78,25 @@ let unsafe_txn_of_id ?(client = 0) t ~id =
 
 let insert t txn ~table ~key ~value =
   guarded t txn (fun () ->
+      touch_gate t ~table ~key;
       Tc.execute t.engine.Engine.tc t.engine.Engine.dc ~txn:txn.Txn.id ~table ~key
         ~op:Lr.Insert ~value:(Some value))
 
 let update t txn ~table ~key ~value =
   guarded t txn (fun () ->
+      touch_gate t ~table ~key;
       Tc.execute t.engine.Engine.tc t.engine.Engine.dc ~txn:txn.Txn.id ~table ~key
         ~op:Lr.Update ~value:(Some value))
 
 let delete t txn ~table ~key =
   guarded t txn (fun () ->
+      touch_gate t ~table ~key;
       Tc.execute t.engine.Engine.tc t.engine.Engine.dc ~txn:txn.Txn.id ~table ~key
         ~op:Lr.Delete ~value:None)
 
 let read t ~table ~key =
   live t;
+  touch_gate t ~table ~key;
   Dc.read t.engine.Engine.dc ~table ~key
 
 let read_locked t txn ~table ~key =
@@ -116,12 +138,24 @@ let put t ~table ~key ~value =
       failwith ("Db.put: " ^ Db_error.to_string e));
   ()
 
+(* Maintenance that flushes or truncates is deferred while instant
+   recovery is still draining: a checkpoint would flush the whole dirty
+   set (forcing every pending page through on-demand replay at once,
+   defeating the availability story), and log compaction must not cut
+   records the drain still has to read. *)
+let no_maintenance_while_draining t what =
+  if t.redo_pending then
+    invalid_arg
+      (Printf.sprintf "Db.%s: instant recovery still draining — finish it first" what)
+
 let checkpoint t =
   live t;
+  no_maintenance_while_draining t "checkpoint";
   Tc.checkpoint t.engine.Engine.tc t.engine.Engine.dc
 
 let compact_log t =
   live t;
+  no_maintenance_while_draining t "compact_log";
   let tc_point = Tc.log_archive_point t.engine.Engine.tc in
   (* In ARIES-checkpointing mode the redo scan can start at the minimum
      rLSN of the runtime DPT, which precedes the checkpoint; keep the log
@@ -161,14 +195,44 @@ let crash t =
 
 let recover ?config image method_ =
   let engine, stats = Recovery.recover ?config image method_ in
-  ({ engine; crashed = false }, stats)
+  ({ engine; crashed = false; redo_pending = false; instant_sess = None }, stats)
+
+(* Staged instant recovery: the db is usable immediately; callers
+   interleave client work with [instant_step] and close with
+   [instant_finish]. *)
+type instant = { i_db : t; i_sess : Recovery.instant }
+
+let recover_instant ?config ?undo_fault_after_clrs image =
+  let sess = Recovery.recover_instant ?config ?undo_fault_after_clrs image in
+  let db =
+    {
+      engine = Recovery.instant_engine sess;
+      crashed = false;
+      redo_pending = true;
+      instant_sess = Some sess;
+    }
+  in
+  { i_db = db; i_sess = sess }
+
+let instant_db i = i.i_db
+let instant_pending i = Recovery.instant_pending_pages i.i_sess
+let instant_step i = Recovery.instant_step i.i_sess
+let instant_drain i = Recovery.instant_drain i.i_sess
+
+let instant_finish i =
+  let stats = Recovery.instant_finish i.i_sess in
+  i.i_db.redo_pending <- false;
+  i.i_db.instant_sess <- None;
+  stats
 
 let fold_table t ~table ~init ~f =
   live t;
+  scan_gate t;
   Btree.fold_entries (Dc.tree t.engine.Engine.dc ~table) ~init ~f
 
 let fold_range t ~table ~lo ~hi ~init ~f =
   live t;
+  scan_gate t;
   Deut_btree.Cursor.fold_range (Dc.tree t.engine.Engine.dc ~table) ~lo ~hi ~init ~f
 
 let scan t ~table ~lo ~hi =
@@ -179,6 +243,7 @@ let dump_table t ~table =
 
 let entry_count t ~table =
   live t;
+  scan_gate t;
   Btree.entry_count (Dc.tree t.engine.Engine.dc ~table)
 
 let check_integrity t =

@@ -110,6 +110,38 @@ val crash : t -> Crash_image.t
     [Invalid_argument] instead of touching post-crash engine state. *)
 
 val recover : ?config:Config.t -> Crash_image.t -> Recovery.method_ -> t * Recovery_stats.t
+(** [recover image InstantLog2] drains the background redo fully before
+    returning — the offline-equivalent (and determinism-gated) form.  Use
+    {!recover_instant} for the open-while-redoing form. *)
+
+(** {2 Instant recovery}
+
+    The staged form of [InstantLog2]: the returned db serves transactions
+    immediately — any touched page replays its pending redo slice first —
+    while the caller interleaves {!instant_step} background replay with
+    client work.  [checkpoint] and [compact_log] are deferred (raise
+    [Invalid_argument]) until {!instant_finish}; crashing mid-drain is
+    legal and recovers exactly like a single crash. *)
+
+type instant
+
+val recover_instant :
+  ?config:Config.t -> ?undo_fault_after_clrs:int -> Crash_image.t -> instant
+
+val instant_db : instant -> t
+(** Open for transactions from the moment [recover_instant] returns. *)
+
+val instant_pending : instant -> int
+(** Pages with redo still outstanding. *)
+
+val instant_step : instant -> bool
+(** Replay one pending page in the background; [false] once drained. *)
+
+val instant_drain : instant -> unit
+
+val instant_finish : instant -> Recovery_stats.t
+(** Drain, re-enable maintenance and finalise statistics (idempotent).
+    [Recovery_stats.t.ttft_us] vs [drained_us] is the availability win. *)
 
 (** {2 Inspection} *)
 

@@ -61,6 +61,11 @@ type t = {
   lock_conflicts : int;
   locked_keys : int;
   commit_latency : latency;  (** txn.commit_latency_us percentiles (request → durable) *)
+  (* instant recovery (zeros unless the engine came out of InstantLog2) *)
+  recovery_ttft_ms : float;
+  recovery_drained_ms : float;
+  recovery_pages_ondemand : int;
+  recovery_pages_background : int;
   (* database *)
   allocated_pages : int;
   stable_pages : int;
@@ -123,6 +128,13 @@ let capture (engine : Engine.t) =
   and lock_conflicts = gi "locks.conflicts"
   and locked_keys = gi "locks.keys"
   and sim_now_us = gf "clock.now_us" in
+  (* recovery.* instruments exist only after a recovery ran on this
+     engine's registry; a fresh engine has none. *)
+  let gf0 name = if Metrics.mem m name then Metrics.read m name else 0.0 in
+  let recovery_ttft_us = gf0 "recovery.ttft_us"
+  and recovery_drained_us = gf0 "recovery.drained_us"
+  and recovery_pages_ondemand = truncate (gf0 "recovery.pages_ondemand")
+  and recovery_pages_background = truncate (gf0 "recovery.pages_background") in
   let lookups = hits + misses + prefetch_hits in
   {
     cache_capacity;
@@ -166,6 +178,10 @@ let capture (engine : Engine.t) =
     lock_conflicts;
     locked_keys;
     commit_latency = latency "txn.commit_latency_us";
+    recovery_ttft_ms = recovery_ttft_us /. 1000.0;
+    recovery_drained_ms = recovery_drained_us /. 1000.0;
+    recovery_pages_ondemand;
+    recovery_pages_background;
     allocated_pages;
     stable_pages;
     tables = List.length (Dc.tables engine.Engine.dc);
@@ -209,5 +225,9 @@ let to_string t =
       t.txn_aborts t.lock_conflicts t.locked_keys;
     lat "  commit:   " t.commit_latency
   end;
+  if t.recovery_ttft_ms > 0.0 then
+    line "instant:    open at %.1f ms, drained at %.1f ms; pages on-demand %d, background %d"
+      t.recovery_ttft_ms t.recovery_drained_ms t.recovery_pages_ondemand
+      t.recovery_pages_background;
   line "sim clock:  %.1f ms" t.sim_now_ms;
   Buffer.contents b

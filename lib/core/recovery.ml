@@ -7,7 +7,7 @@ module Pool = Deut_buffer.Buffer_pool
 module Metrics = Deut_obs.Metrics
 module Trace = Deut_obs.Trace
 
-type method_ = Log0 | Log1 | Log2 | Sql1 | Sql2 | Aries_ckpt
+type method_ = Log0 | Log1 | Log2 | Sql1 | Sql2 | Aries_ckpt | InstantLog2
 
 let method_to_string = function
   | Log0 -> "Log0"
@@ -16,9 +16,14 @@ let method_to_string = function
   | Sql1 -> "SQL1"
   | Sql2 -> "SQL2"
   | Aries_ckpt -> "ARIES-ckpt"
+  | InstantLog2 -> "InstantLog2"
 
 let all_methods = [ Log0; Log1; Sql1; Log2; Sql2 ]
-let is_logical = function Log0 | Log1 | Log2 -> true | Sql1 | Sql2 | Aries_ckpt -> false
+let all_methods_with_instant = all_methods @ [ InstantLog2 ]
+
+let is_logical = function
+  | Log0 | Log1 | Log2 | InstantLog2 -> true
+  | Sql1 | Sql2 | Aries_ckpt -> false
 
 type scan_result = {
   records : (Lsn.t * Lr.t) array;
@@ -322,7 +327,10 @@ let redo_pass method_ (engine : Engine.t) (scan : scan_result) ~(stats : Recover
               | Log0 -> Dc.redo_logical dc ~lsn ~view ~use_dpt:false ~stats
               | Log1 | Log2 -> Dc.redo_logical dc ~lsn ~view ~use_dpt:true ~stats
               | Sql1 | Sql2 | Aries_ckpt ->
-                  Dc.redo_physiological dc ~lsn ~view ~use_dpt:true ~stats);
+                  Dc.redo_physiological dc ~lsn ~view ~use_dpt:true ~stats
+              | InstantLog2 ->
+                  (* Instant recovery never takes the offline redo pass. *)
+                  assert false);
               leave w))
     records;
   (* Redo completes when the slowest worker does. *)
@@ -332,7 +340,7 @@ let redo_pass method_ (engine : Engine.t) (scan : scan_result) ~(stats : Recover
     Dc.set_redo_track dc None
   end
 
-let recover ?config ?undo_fault_after_clrs image method_ =
+let recover_offline ?config ?undo_fault_after_clrs image method_ =
   let engine = Crash_image.instantiate ?config image in
   let { Engine.clock; log; pool; dc; tc; _ } = engine in
   let split = Engine.split engine in
@@ -385,6 +393,7 @@ let recover ?config ?undo_fault_after_clrs image method_ =
         let dpt, redo_start = aries_analysis log ~from:bckpt ~stats in
         Dc.set_dpt dc dpt;
         redo_start
+    | InstantLog2 -> assert false (* dispatched to [recover_instant] *)
   in
   Metrics.fset stats.Recovery_stats.analysis_us (Clock.now clock -. t0);
   phase "analysis" ~ts0:t0;
@@ -438,3 +447,325 @@ let recover ?config ?undo_fault_after_clrs image method_ =
   Option.iter Trace.stop trace;
   Dc.open_tables dc;
   (engine, Recovery_stats.snapshot stats)
+
+(* ---------- Instant recovery (InstantLog2) ---------- *)
+
+(* An open-for-business engine with redo still pending.  [i_pending] maps a
+   leaf pid to that page's slice of the redo range (in log order);
+   [i_order] remembers the pids by first appearance in the log — the
+   background drain replays them in that order, which matches the page
+   order the offline pass would have first touched them in.
+
+   Both the history index and the loser rollback are deferred past the
+   open: [i_records] holds the raw redo range until the first page demand
+   builds the index ([ensure_history]), and [i_losers] wait un-undone
+   until background work or a conflicting key touch forces them
+   ([ensure_undo]).  [i_loser_keys] is the lock substitute meanwhile: any
+   client touch of a key a loser wrote must run rollback first. *)
+type instant = {
+  i_engine : Engine.t;
+  i_stats : Recovery_stats.cells;
+  i_pending : (int, (Lsn.t * Lr.redo_view) list) Hashtbl.t;
+  mutable i_order : int list;
+  mutable i_records : (Lsn.t * Lr.t) array;  (* redo range, unindexed until first demand *)
+  mutable i_built : bool;
+  mutable i_building : bool;
+  i_losers : (int * Lsn.t) list;
+  i_loser_keys : (int * int, unit) Hashtbl.t;
+  mutable i_undone : bool;
+  i_undo_fault : int option;
+  mutable i_finished : bool;
+  i_t0 : float;  (* clock at recovery start; ttft/drained are relative to it *)
+}
+
+let instant_engine sess = sess.i_engine
+
+(* Replay one page's whole slice through the ordinary Log2 redo operator.
+   [Dc.redo_logical] is self-contained — it charges the per-record CPU,
+   re-locates the leaf, applies the tail/DPT/rLSN/pLSN tests and keeps
+   every counter — so replaying each record exactly once, grouped by page
+   instead of globally by LSN, produces the same page trajectories and the
+   same statistics as the offline pass (the tree shape is final after
+   analysis and merges stay disabled until the drain completes, so a key's
+   leaf is constant; a page's content depends only on its own records in
+   log order).  Removing the page from the pending set {e first} makes the
+   buffer-pool hook re-entrant: the nested [get]s below settle without
+   recursing. *)
+let replay_page sess ~background pid =
+  match Hashtbl.find_opt sess.i_pending pid with
+  | None -> ()
+  | Some slice ->
+      Hashtbl.remove sess.i_pending pid;
+      let engine = sess.i_engine in
+      let dc = engine.Engine.dc in
+      let clock = engine.Engine.clock in
+      let stats = sess.i_stats in
+      let t0 = Clock.now clock in
+      List.iter (fun (lsn, view) -> Dc.redo_logical dc ~lsn ~view ~use_dpt:true ~stats) slice;
+      Metrics.fadd stats.Recovery_stats.redo_us (Clock.now clock -. t0);
+      Metrics.incr
+        (if background then stats.Recovery_stats.pages_background
+         else stats.Recovery_stats.pages_ondemand);
+      (match Engine.trace engine with
+      | Some tr ->
+          Trace.span tr ~name:"replay_page" ~cat:"recovery"
+            ~track:(if background then Trace.track_recovery else Trace.track_ondemand)
+            ~ts:t0
+            ~dur:(Clock.now clock -. t0)
+            ~args:[ ("pid", pid); ("records", List.length slice) ]
+            ()
+      | None -> ())
+
+(* Build the per-page history index on first demand, after the engine is
+   already open.  Warms the internal levels with one batched preload so
+   every locate below is cache-hot, then assigns each redo-view record to
+   its leaf's slice.  The tree shape is final after analysis and merges
+   stay disabled until the drain completes, so a key's leaf is constant —
+   building late yields the same slices building eagerly would have.
+   Re-entrancy: the preload/locates below fault only internal pages, which
+   are never in [i_pending]; [i_building] stops the nested hook calls they
+   trigger from recursing into the build. *)
+let ensure_history sess =
+  if (not sess.i_built) && not sess.i_building then begin
+    sess.i_building <- true;
+    let engine = sess.i_engine in
+    let dc = engine.Engine.dc in
+    let clock = engine.Engine.clock in
+    let stats = sess.i_stats in
+    let t0 = Clock.now clock in
+    Dc.preload_indexes dc ~stats;
+    let order = ref [] in
+    Array.iter
+      (fun (lsn, record) ->
+        Metrics.incr stats.Recovery_stats.records_scanned;
+        match Lr.redo_view record with
+        | None -> ()
+        | Some view ->
+            let tr = Dc.tree dc ~table:view.Lr.rv_table in
+            let pid = Deut_btree.Btree.locate_leaf tr ~key:view.Lr.rv_key in
+            (match Hashtbl.find_opt sess.i_pending pid with
+            | Some slice -> Hashtbl.replace sess.i_pending pid ((lsn, view) :: slice)
+            | None ->
+                order := pid :: !order;
+                Hashtbl.replace sess.i_pending pid [ (lsn, view) ]))
+      sess.i_records;
+    Hashtbl.filter_map_inplace (fun _ slice -> Some (List.rev slice)) sess.i_pending;
+    sess.i_order <- List.rev !order;
+    sess.i_records <- [||];
+    sess.i_built <- true;
+    sess.i_building <- false;
+    match Engine.trace engine with
+    | Some tr ->
+        Trace.span tr ~name:"history_build" ~cat:"phase" ~track:Trace.track_recovery ~ts:t0
+          ~dur:(Clock.now clock -. t0) ()
+    | None -> ()
+  end
+
+(* Roll the losers back, once.  Deferred past the open: new transactions
+   only wait on it when they touch a key a loser wrote (the [i_loser_keys]
+   gate), or when background work reaches it.  Undo's own page touches
+   drive on-demand replay through the buffer-pool hook, so compensations
+   always apply to fully-redone pages regardless of when this runs. *)
+let ensure_undo sess =
+  if not sess.i_undone then begin
+    sess.i_undone <- true;
+    let engine = sess.i_engine in
+    let { Engine.clock; dc; tc; _ } = engine in
+    let stats = sess.i_stats in
+    let t2 = Clock.now clock in
+    (try
+       List.iter
+         (fun (txn, last) ->
+           let budget =
+             Option.map
+               (fun n -> n - Metrics.count stats.Recovery_stats.clrs_written)
+               sess.i_undo_fault
+           in
+           Metrics.add stats.Recovery_stats.clrs_written
+             (Tc.undo_txn ?fault_after_clrs:budget tc dc ~txn ~last))
+         sess.i_losers
+     with Tc.Undo_interrupted n -> Metrics.add stats.Recovery_stats.clrs_written n);
+    Hashtbl.reset sess.i_loser_keys;
+    Metrics.fset stats.Recovery_stats.undo_us (Clock.now clock -. t2);
+    match Engine.trace engine with
+    | Some tr ->
+        Trace.span tr ~name:"undo" ~cat:"phase" ~track:Trace.track_recovery ~ts:t2
+          ~dur:(Clock.now clock -. t2) ()
+    | None -> ()
+  end
+
+let instant_pending_pages sess =
+  ensure_history sess;
+  Hashtbl.length sess.i_pending
+
+(* The admission gate: a client touch of a key some loser wrote forces
+   rollback before the touch proceeds — the in-memory stand-in for the
+   persistent locks real instant recovery reacquires during analysis. *)
+let instant_touch_key sess ~table ~key =
+  if (not sess.i_undone) && Hashtbl.mem sess.i_loser_keys (table, key) then ensure_undo sess
+
+let instant_force_undo sess = ensure_undo sess
+
+(* Open the engine for transactions right after analysis, leaving redo to
+   the fault hook and the background drain, the history index to the first
+   page demand, and loser rollback to the first conflicting key touch (or
+   background work).  Time-to-first-transaction is analysis + the
+   sequential log scan + the in-memory loser-key walk — no data-page IO at
+   all. *)
+let recover_instant ?config ?undo_fault_after_clrs image =
+  let engine = Crash_image.instantiate ?config image in
+  let { Engine.clock; log; pool; dc; tc; _ } = engine in
+  let split = Engine.split engine in
+  let trace = Engine.trace engine in
+  let stats = Recovery_stats.create ~metrics:(Engine.metrics engine) () in
+  let phase name ~ts0 =
+    match trace with
+    | Some tr ->
+        Trace.span tr ~name ~cat:"phase" ~track:Trace.track_recovery ~ts:ts0
+          ~dur:(Clock.now clock -. ts0) ()
+    | None -> ()
+  in
+  let bckpt = Crash_image.master image in
+  Pool.reset_counters pool;
+  Pool.set_lazy_writer_enabled pool false;
+  (* Merges stay off until the drain completes: a merge would move keys
+     between leaves and invalidate the page slices built below.  (Splits
+     by admitted transactions are safe — splitting a page first touches
+     it, which replays its slice.) *)
+  Dc.set_merge_allowed dc false;
+  let t_start = Clock.now clock in
+  (* Phase 1: analysis, exactly as Log2. *)
+  let dc_log = engine.Engine.dc_log in
+  let dc_from = if split then Lsn.nil else if Lsn.is_nil bckpt then Lsn.nil else bckpt in
+  let t0 = Clock.now clock in
+  Dc.dc_recovery dc ~log:dc_log ~from:dc_from ~bckpt ~build_dpt:true ~stats;
+  Metrics.fset stats.Recovery_stats.analysis_us (Clock.now clock -. t0);
+  phase "analysis" ~ts0:t0;
+  (* Phase 2: materialise the redo range (a sequential log read; the
+     per-page index over it is built lazily, on the first page demand). *)
+  let t1 = Clock.now clock in
+  let scan = scan_log log ~from:bckpt in
+  phase "log_scan" ~ts0:t1;
+  (* Restore the transaction table and collect each loser's written keys
+     from its backward chain (in-memory log reads only).  Those keys stay
+     blocked until rollback runs — the lock substitute that lets undo
+     itself move past the open. *)
+  Tc.restore_txn_state tc ~losers:scan.losers ~next_txn:(scan.max_txn + 1);
+  Tc.set_master tc bckpt;
+  Metrics.add stats.Recovery_stats.losers (List.length scan.losers);
+  let loser_keys : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (txn, last) ->
+      List.iter (fun tk -> Hashtbl.replace loser_keys tk ()) (Tc.loser_keys tc ~txn ~last))
+    scan.losers;
+  let sess =
+    {
+      i_engine = engine;
+      i_stats = stats;
+      i_pending = Hashtbl.create 256;
+      i_order = [];
+      i_records = scan.records;
+      i_built = false;
+      i_building = false;
+      i_losers = scan.losers;
+      i_loser_keys = loser_keys;
+      i_undone = scan.losers = [];
+      i_undo_fault = undo_fault_after_clrs;
+      i_finished = false;
+      i_t0 = t_start;
+    }
+  in
+  (* Reopen the catalog before the hook goes in: [open_tables] touches
+     only the catalog page, which is never a data leaf, and doing it here
+     keeps the touch from counting as the first page demand. *)
+  Dc.open_tables dc;
+  (* From here, any page touch — a client read, an undo compensation, an
+     eviction or lazy-writer flush — builds the history index if needed
+     and replays that page's slice first.  (The filter cannot be "is the
+     pid in the DPT": a pre-crash split can leave a key's final leaf
+     different from the pid its Δ record dirtied, so a pending leaf need
+     not appear in the DPT at all — only the built index knows.) *)
+  Pool.set_redo_hook pool
+    (Some
+       (fun pid ->
+         ensure_history sess;
+         replay_page sess ~background:false pid));
+  Pool.set_lazy_writer_enabled pool true;
+  (* Open for business: time-to-first-transaction is now. *)
+  Metrics.fset stats.Recovery_stats.ttft_us (Clock.now clock -. t_start);
+  (match trace with
+  | Some tr ->
+      Trace.instant tr ~name:"open_for_business" ~cat:"recovery" ~track:Trace.track_recovery
+        ~args:[ ("redo_records", Array.length scan.records); ("losers", List.length scan.losers) ]
+        ()
+  | None -> ());
+  sess
+
+(* One background-drain step: finish any deferred recovery work first
+   (history index, loser rollback), then replay the next still-pending
+   page in log first-touch order.  Returns [false] once nothing is
+   pending. *)
+let instant_step sess =
+  ensure_history sess;
+  ensure_undo sess;
+  let rec go = function
+    | [] ->
+        sess.i_order <- [];
+        false
+    | pid :: rest ->
+        if Hashtbl.mem sess.i_pending pid then begin
+          sess.i_order <- rest;
+          replay_page sess ~background:true pid;
+          true
+        end
+        else go rest
+  in
+  go sess.i_order
+
+let instant_drain sess = while instant_step sess do () done
+
+(* Close the recovery: drain whatever is left, re-enable maintenance,
+   uninstall the hook and finalise the IO accounting.  Idempotent. *)
+let instant_finish sess =
+  let engine = sess.i_engine in
+  let { Engine.clock; pool; dc; _ } = engine in
+  let stats = sess.i_stats in
+  if not sess.i_finished then begin
+    sess.i_finished <- true;
+    ensure_history sess;
+    ensure_undo sess;
+    instant_drain sess;
+    Pool.set_redo_hook pool None;
+    Dc.set_merge_allowed dc true;
+    Metrics.fset stats.Recovery_stats.drained_us (Clock.now clock -. sess.i_t0);
+    let c = Pool.counters pool in
+    let total_fetches = c.Pool.misses + c.Pool.prefetch_hits in
+    Metrics.add stats.Recovery_stats.data_page_fetches
+      (total_fetches - Metrics.count stats.Recovery_stats.index_page_fetches);
+    Metrics.fset stats.Recovery_stats.data_stall_us
+      (c.Pool.stall_us -. Metrics.value stats.Recovery_stats.index_stall_us);
+    Metrics.add stats.Recovery_stats.log_pages_read
+      ((Disk.counters engine.Engine.log_disk).Disk.pages_read
+      + (match engine.Engine.dc_log_disk with
+        | Some d -> (Disk.counters d).Disk.pages_read
+        | None -> 0)
+      + (match engine.Engine.archive_disk with
+        | Some d -> (Disk.counters d).Disk.pages_read
+        | None -> 0));
+    Metrics.add stats.Recovery_stats.prefetch_issued c.Pool.prefetch_issued;
+    Metrics.add stats.Recovery_stats.prefetch_hits c.Pool.prefetch_hits;
+    Metrics.add stats.Recovery_stats.stalls c.Pool.stalls;
+    Option.iter Trace.stop (Engine.trace engine)
+  end;
+  Recovery_stats.snapshot stats
+
+let recover ?config ?undo_fault_after_clrs image method_ =
+  match method_ with
+  | InstantLog2 ->
+      (* The offline-equivalent form: open, then drain fully before any
+         client work — the determinism gate that pins InstantLog2's final
+         state to Log2's, byte for byte. *)
+      let sess = recover_instant ?config ?undo_fault_after_clrs image in
+      let stats = instant_finish sess in
+      (sess.i_engine, stats)
+  | _ -> recover_offline ?config ?undo_fault_after_clrs image method_

@@ -13,15 +13,25 @@
     - [Aries_ckpt] — physiological redo with the DPT captured at
       checkpoints (§3.1); requires the workload to have run in
       [Aries_fuzzy] checkpoint mode.
+    - [InstantLog2] — Log2's analysis, then open for business immediately:
+      each page's slice of the redo range replays on first touch (a
+      buffer-pool fault hook), with a background drain covering the rest.
+      Through {!recover} the drain completes before the engine is
+      returned, making the result byte-identical to [Log2]; the staged
+      {!recover_instant} API exposes the open-while-redoing form.
 
     All methods run from deep copies of the same crash image, finish with
     the same logical undo pass, and report {!Recovery_stats}. *)
 
-type method_ = Log0 | Log1 | Log2 | Sql1 | Sql2 | Aries_ckpt
+type method_ = Log0 | Log1 | Log2 | Sql1 | Sql2 | Aries_ckpt | InstantLog2
 
 val method_to_string : method_ -> string
 val all_methods : method_ list
 (** The five paper methods, in the paper's order (no [Aries_ckpt]). *)
+
+val all_methods_with_instant : method_ list
+(** [all_methods] plus [InstantLog2] — the six modes the fuzz harness and
+    crash-point tests sweep. *)
 
 val is_logical : method_ -> bool
 
@@ -40,6 +50,63 @@ val recover :
     pass after that many CLRs, returning an engine in the state of a
     system that crashed mid-undo (crash it and recover again to exercise
     CLR/undo-next resumption). *)
+
+(** {1 Instant recovery}
+
+    The staged form of [InstantLog2].  [recover_instant] runs analysis and
+    the sequential log scan, collects the keys each loser transaction
+    wrote (in-memory log reads), and returns an engine that is already
+    open for transactions — {!Recovery_stats.t.ttft_us} marks that
+    moment; no data page has been touched yet.  Everything else is
+    deferred and demand-driven:
+
+    - Any page touch from then on (client read or update, eviction,
+      lazy-writer or checkpoint flush) first builds the per-page history
+      index over the redo range (once, with a batched warm-up of the
+      index levels) and replays that page's pending slice, so no page is
+      ever served or written back with redo outstanding.
+    - Loser rollback runs at the first client touch of a key a loser
+      wrote (the in-memory lock substitute — key locks are not
+      persisted), at the first background step, or at
+      {!instant_finish}, whichever comes first; its own page touches
+      replay on demand through the same hook.
+
+    Callers interleave {!instant_step} with client work on the virtual
+    clock until the pending set drains, then call {!instant_finish}
+    (idempotent; finishes rollback, drains anything left, re-enables page
+    merges, uninstalls the hook and finalises the statistics). *)
+
+type instant
+
+val recover_instant :
+  ?config:Config.t -> ?undo_fault_after_clrs:int -> Crash_image.t -> instant
+
+val instant_engine : instant -> Engine.t
+(** The recovered engine, open for transactions from the moment
+    [recover_instant] returns. *)
+
+val instant_pending_pages : instant -> int
+(** Pages whose redo slice has not yet been replayed (forces the history
+    build if no page demand has triggered it yet). *)
+
+val instant_touch_key : instant -> table:int -> key:int -> unit
+(** The admission gate, called by the [Db] layer on every keyed client
+    operation while redo is pending: touching a key some loser wrote
+    forces rollback first.  Cheap no-op otherwise. *)
+
+val instant_force_undo : instant -> unit
+(** Run loser rollback now if it has not run yet — called before whole-
+    table scans, which cannot be gated per key. *)
+
+val instant_step : instant -> bool
+(** Finish any deferred recovery work (history index, loser rollback),
+    then replay one pending page (log first-touch order); [false] when
+    the pending set is empty. *)
+
+val instant_drain : instant -> unit
+(** Run {!instant_step} to exhaustion. *)
+
+val instant_finish : instant -> Recovery_stats.t
 
 (** Exposed for tests: the scan that materialises the redo range and finds
     loser transactions. *)

@@ -14,6 +14,8 @@ type cells = {
   analysis_us : Metrics.dial;
   redo_us : Metrics.dial;
   undo_us : Metrics.dial;
+  ttft_us : Metrics.dial;
+  drained_us : Metrics.dial;
   records_scanned : Metrics.counter;
   redo_candidates : Metrics.counter;
   redo_applied : Metrics.counter;
@@ -35,6 +37,8 @@ type cells = {
   prefetch_issued : Metrics.counter;
   prefetch_hits : Metrics.counter;
   stalls : Metrics.counter;
+  pages_ondemand : Metrics.counter;
+  pages_background : Metrics.counter;
 }
 
 (* Frozen snapshot.  Field names deliberately mirror [cells]; OCaml's
@@ -43,6 +47,11 @@ type t = {
   analysis_us : float;  (** DC-recovery / analysis pass time *)
   redo_us : float;
   undo_us : float;
+  ttft_us : float;
+      (** instant recovery: clock when the engine opened for transactions
+          (0 for the offline modes, where opening = full recovery) *)
+  drained_us : float;
+      (** instant recovery: clock when the last pending page was replayed *)
   records_scanned : int;  (** redo-range records examined *)
   redo_candidates : int;  (** update/CLR records subjected to a redo test *)
   redo_applied : int;
@@ -64,44 +73,90 @@ type t = {
   prefetch_issued : int;
   prefetch_hits : int;
   stalls : int;
+  pages_ondemand : int;  (** pages replayed from the fault hook *)
+  pages_background : int;  (** pages replayed by the background drain *)
 }
+
+let reset (s : cells) =
+  Metrics.fset s.analysis_us 0.0;
+  Metrics.fset s.redo_us 0.0;
+  Metrics.fset s.undo_us 0.0;
+  Metrics.fset s.ttft_us 0.0;
+  Metrics.fset s.drained_us 0.0;
+  Metrics.fset s.data_stall_us 0.0;
+  Metrics.fset s.index_stall_us 0.0;
+  Metrics.reset_counter s.records_scanned;
+  Metrics.reset_counter s.redo_candidates;
+  Metrics.reset_counter s.redo_applied;
+  Metrics.reset_counter s.skipped_dpt;
+  Metrics.reset_counter s.skipped_rlsn;
+  Metrics.reset_counter s.skipped_plsn;
+  Metrics.reset_counter s.tail_records;
+  Metrics.reset_counter s.data_page_fetches;
+  Metrics.reset_counter s.index_page_fetches;
+  Metrics.reset_counter s.log_pages_read;
+  Metrics.reset_counter s.dpt_size;
+  Metrics.reset_counter s.deltas_seen;
+  Metrics.reset_counter s.bws_seen;
+  Metrics.reset_counter s.smos_replayed;
+  Metrics.reset_counter s.losers;
+  Metrics.reset_counter s.clrs_written;
+  Metrics.reset_counter s.prefetch_issued;
+  Metrics.reset_counter s.prefetch_hits;
+  Metrics.reset_counter s.stalls;
+  Metrics.reset_counter s.pages_ondemand;
+  Metrics.reset_counter s.pages_background
 
 let create ?metrics () : cells =
   let m = match metrics with Some m -> m | None -> Metrics.create () in
   let c name = Metrics.counter m ("recovery." ^ name) in
   let d name = Metrics.dial m ("recovery." ^ name) in
-  {
-    analysis_us = d "analysis_us";
-    redo_us = d "redo_us";
-    undo_us = d "undo_us";
-    records_scanned = c "records_scanned";
-    redo_candidates = c "redo_candidates";
-    redo_applied = c "redo_applied";
-    skipped_dpt = c "skipped_dpt";
-    skipped_rlsn = c "skipped_rlsn";
-    skipped_plsn = c "skipped_plsn";
-    tail_records = c "tail_records";
-    data_page_fetches = c "data_page_fetches";
-    index_page_fetches = c "index_page_fetches";
-    data_stall_us = d "data_stall_us";
-    index_stall_us = d "index_stall_us";
-    log_pages_read = c "log_pages_read";
-    dpt_size = c "dpt_size";
-    deltas_seen = c "deltas_seen";
-    bws_seen = c "bws_seen";
-    smos_replayed = c "smos_replayed";
-    losers = c "losers";
-    clrs_written = c "clrs_written";
-    prefetch_issued = c "prefetch_issued";
-    prefetch_hits = c "prefetch_hits";
-    stalls = c "stalls";
-  }
+  let cells : cells =
+    {
+      analysis_us = d "analysis_us";
+      redo_us = d "redo_us";
+      undo_us = d "undo_us";
+      ttft_us = d "ttft_us";
+      drained_us = d "drained_us";
+      records_scanned = c "records_scanned";
+      redo_candidates = c "redo_candidates";
+      redo_applied = c "redo_applied";
+      skipped_dpt = c "skipped_dpt";
+      skipped_rlsn = c "skipped_rlsn";
+      skipped_plsn = c "skipped_plsn";
+      tail_records = c "tail_records";
+      data_page_fetches = c "data_page_fetches";
+      index_page_fetches = c "index_page_fetches";
+      data_stall_us = d "data_stall_us";
+      index_stall_us = d "index_stall_us";
+      log_pages_read = c "log_pages_read";
+      dpt_size = c "dpt_size";
+      deltas_seen = c "deltas_seen";
+      bws_seen = c "bws_seen";
+      smos_replayed = c "smos_replayed";
+      losers = c "losers";
+      clrs_written = c "clrs_written";
+      prefetch_issued = c "prefetch_issued";
+      prefetch_hits = c "prefetch_hits";
+      stalls = c "stalls";
+      pages_ondemand = c "pages_ondemand";
+      pages_background = c "pages_background";
+    }
+  in
+  (* Registering an already-registered name hands back the existing
+     instrument, so under a shared registry (the memoized harness reuses
+     one engine's metrics across cells) these handles may carry a previous
+     run's totals — zero them so every recovery starts from scratch. *)
+  reset cells;
+  cells
 
 let snapshot (s : cells) : t =
   {
     analysis_us = Metrics.value s.analysis_us;
     redo_us = Metrics.value s.redo_us;
     undo_us = Metrics.value s.undo_us;
+    ttft_us = Metrics.value s.ttft_us;
+    drained_us = Metrics.value s.drained_us;
     records_scanned = Metrics.count s.records_scanned;
     redo_candidates = Metrics.count s.redo_candidates;
     redo_applied = Metrics.count s.redo_applied;
@@ -123,12 +178,16 @@ let snapshot (s : cells) : t =
     prefetch_issued = Metrics.count s.prefetch_issued;
     prefetch_hits = Metrics.count s.prefetch_hits;
     stalls = Metrics.count s.stalls;
+    pages_ondemand = Metrics.count s.pages_ondemand;
+    pages_background = Metrics.count s.pages_background;
   }
 
 let redo_ms (t : t) = t.redo_us /. 1000.0
 let analysis_ms (t : t) = t.analysis_us /. 1000.0
 let undo_ms (t : t) = t.undo_us /. 1000.0
 let total_ms (t : t) = (t.analysis_us +. t.redo_us +. t.undo_us) /. 1000.0
+let ttft_ms (t : t) = t.ttft_us /. 1000.0
+let drained_ms (t : t) = t.drained_us /. 1000.0
 
 let pp fmt (t : t) =
   Format.fprintf fmt
@@ -145,6 +204,10 @@ let pp fmt (t : t) =
     t.index_page_fetches
     (t.index_stall_us /. 1000.0)
     t.log_pages_read t.dpt_size t.deltas_seen t.bws_seen t.smos_replayed t.prefetch_issued
-    t.prefetch_hits t.stalls t.losers t.clrs_written
+    t.prefetch_hits t.stalls t.losers t.clrs_written;
+  if t.ttft_us > 0.0 then
+    Format.fprintf fmt
+      "@\ninstant: open at %.1f ms, drained at %.1f ms; pages on-demand %d, background %d"
+      (ttft_ms t) (drained_ms t) t.pages_ondemand t.pages_background
 
 let to_string t = Format.asprintf "%a" pp t

@@ -192,6 +192,31 @@ let undo_txn ?fault_after_clrs t dc ~txn ~last =
   force_now t dc;
   !clrs
 
+(* The (table, key) pairs a loser transaction wrote, gathered from the same
+   backward chain [undo_txn] compensates.  Pure in-memory log reads — no
+   page is touched.  Instant recovery uses this as its lock substitute:
+   key locks are not persisted (§2.1), so the set of keys whose rollback
+   is still outstanding must be reconstructed from the log before new
+   transactions are admitted. *)
+let loser_keys t ~txn ~last =
+  let keys = ref [] in
+  let rec walk lsn =
+    if not (Lsn.is_nil lsn) then
+      match fst (Log_manager.read_at t.log lsn) with
+      | Lr.Update_rec u when u.Lr.txn = txn ->
+          keys := (u.Lr.table, u.Lr.key) :: !keys;
+          walk u.Lr.prev_lsn
+      | Lr.Clr c when c.Lr.txn = txn ->
+          keys := (c.Lr.table, c.Lr.key) :: !keys;
+          walk c.Lr.undo_next
+      | other ->
+          failwith
+            (Printf.sprintf "Tc.loser_keys: unexpected record in txn %d chain: %s" txn
+               (Lr.describe other))
+  in
+  walk last;
+  !keys
+
 let abort t dc ~txn =
   t.aborts <- t.aborts + 1;
   ignore (undo_txn t dc ~txn ~last:(last_lsn_of t txn))

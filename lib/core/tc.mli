@@ -86,6 +86,12 @@ val undo_txn : ?fault_after_clrs:int -> t -> Dc.t -> txn:int -> last:Deut_wal.Ls
     must resume compensation at the last CLR's undo-next, never
     compensating the same update twice. *)
 
+val loser_keys : t -> txn:int -> last:Deut_wal.Lsn.t -> (int * int) list
+(** The [(table, key)] pairs the loser wrote, read off the same backward
+    chain {!undo_txn} compensates (following undo-next over CLRs).  Pure
+    in-memory log reads — no data page is touched.  Instant recovery's
+    lock substitute: these keys stay blocked until rollback runs. *)
+
 val log_archive_point : t -> Deut_wal.Lsn.t
 (** The LSN up to which the log may be archived: the minimum of the master
     record and every active transaction's first LSN ([Lsn.nil] if that is

@@ -71,6 +71,7 @@ let histogram t ?(base = 2.0) ?(lo = 1.0) ?(buckets = 24) name =
 
 let incr c = c.c <- c.c + 1
 let add c n = c.c <- c.c + n
+let reset_counter c = c.c <- 0
 let fset d x = d.d <- x
 let fadd d x = d.d <- d.d +. x
 

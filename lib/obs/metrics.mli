@@ -41,6 +41,12 @@ val histogram : t -> ?base:float -> ?lo:float -> ?buckets:int -> string -> histo
 
 val incr : counter -> unit
 val add : counter -> int -> unit
+
+val reset_counter : counter -> unit
+(** Zero the cell.  Owners that reuse one registry across runs (e.g.
+    [Recovery_stats] under the memoized harness) reset their instruments
+    at the start of each run rather than accumulate across cells. *)
+
 val fset : dial -> float -> unit
 val fadd : dial -> float -> unit
 val observe : histogram -> float -> unit

@@ -30,6 +30,7 @@ let track_monitor = 6
 let track_archive_disk = 7
 let worker_track_base = 8
 let track_worker w = worker_track_base + w
+let track_ondemand = 63
 let client_track_base = 64
 let track_client c = client_track_base + c
 
@@ -42,6 +43,7 @@ let track_name = function
   | 5 -> "wal"
   | 6 -> "monitor"
   | 7 -> "archive-disk"
+  | 63 -> "ondemand-redo"
   | n when n >= client_track_base -> "client-" ^ string_of_int (n - client_track_base)
   | n when n >= worker_track_base -> "redo-worker-" ^ string_of_int (n - worker_track_base)
   | n -> "track-" ^ string_of_int n

@@ -45,8 +45,14 @@ val track_archive_disk : int
 
 val track_worker : int -> int
 (** [track_worker w] is the lane for simulated redo worker [w] (lanes
-    8–63).  Parallel replay routes each worker's [redo_op] and [stall]
+    8–62).  Parallel replay routes each worker's [redo_op] and [stall]
     spans here so a trace shows per-worker IO overlap. *)
+
+val track_ondemand : int
+(** Lane 63: instant recovery's on-demand page replay.  Each page slice
+    replayed from the fault hook emits a [replay_page] span here, so a
+    trace separates availability-critical redo (this lane) from the
+    background drain (the recovery lane). *)
 
 val track_client : int -> int
 (** [track_client c] is the lane for simulated client [c] (lanes 64+).

@@ -197,6 +197,38 @@ val run_archiving :
 val archiving_table : archiving_cell list -> string
 (** Round-by-round growth table plus a per-method restart comparison. *)
 
+(** One cache-size cell of the instant-recovery availability sweep. *)
+type availability_cell = {
+  v_cache_mb : int;
+  v_ttft_ms : float;  (** open for business: analysis + sequential log scan *)
+  v_drained_ms : float;  (** background redo fully drained (same staged run) *)
+  v_log2_total_ms : float;  (** offline Log2 baseline on the same image *)
+  v_speedup : float;  (** drained / open — the availability win *)
+  v_pages_ondemand : int;  (** pages replayed by probe-read faults *)
+  v_pages_background : int;  (** pages replayed by the drain *)
+  v_probe_reads : int;  (** reads served while redo was still pending *)
+}
+
+val run_availability :
+  ?cache:Experiment.build_cache ->
+  ?scale:int ->
+  ?cache_sizes:int list ->
+  ?probes:int ->
+  ?progress:(string -> unit) ->
+  unit ->
+  availability_cell list
+(** One crash per cache size.  Per cell: recover offline with Log2 (the
+    baseline), recover with the drained form of InstantLog2 and require a
+    byte-identical logical digest (the determinism gate — raises on
+    divergence), then run the staged form with [probes] uniform reads
+    interleaved with background drain steps, verify it against the oracle
+    and the digest again, and report its TTFT / drain split.  Defaults:
+    scale 64, the paper's cache sizes, 32 probe reads. *)
+
+val availability_table : availability_cell list -> string
+(** TTFT vs full-recovery time, speedup, and replay-path page counts per
+    cache size. *)
+
 (** One (cache size, method) cell of the trace-mined prefetch-tuning sweep. *)
 type tuning_cell = {
   t_cache_mb : int;

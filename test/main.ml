@@ -17,6 +17,7 @@ let () =
       ("locks", Test_locks.suite);
       ("trace", Test_trace.suite);
       ("crash-points", Test_crash_points.suite);
+      ("fuzz-recovery", Test_fuzz_recovery.suite);
       ("archive", Test_archive.suite);
       ("parallel-redo", Test_parallel_redo.suite);
       ("concurrency", Test_concurrency.suite);

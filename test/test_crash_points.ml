@@ -153,7 +153,7 @@ let test_every_boundary_every_method () =
           if got <> expected then
             Alcotest.failf "boundary %d, %s:\n  expected %s\n  got      %s" idx
               (Recovery.method_to_string m) (show_entries expected) (show_entries got))
-        Recovery.all_methods)
+        Recovery.all_methods_with_instant)
     images
 
 let test_cross_method_equivalence () =
@@ -167,7 +167,7 @@ let test_cross_method_equivalence () =
       (fun m ->
         let recovered, _ = Db.recover image m in
         (m, Db.dump_table recovered ~table))
-      Recovery.all_methods
+      Recovery.all_methods_with_instant
   in
   match dumps with
   | [] -> ()
@@ -181,8 +181,61 @@ let test_cross_method_equivalence () =
       check "loser update rolled back everywhere" false
         (List.mem_assoc 106 d0 || List.exists (fun (_, v) -> v = "loser4") d0)
 
+(* Crash *again* in the middle of instant recovery — once while on-demand
+   replay is being driven by reads, once partway through the background
+   drain — and re-recover.  The double-crash result must be byte-identical
+   to recovering the original image once.  Key safety property under test:
+   the buffer pool never flushes a page whose redo is still pending (the
+   flush hook replays it first), so the second image's stable pages are
+   always fully redone and its Δ-derived DPT still covers the rest.  The
+   mid-instant captures also must not disturb the live session, which
+   finishes afterwards and is compared too. *)
+let test_instant_double_crash () =
+  let _n, images = build_images () in
+  let images = Array.of_list images in
+  let n = Array.length images in
+  let idxs = List.sort_uniq compare (List.init 8 (fun i -> i * (n - 1) / 7)) in
+  List.iter
+    (fun idx ->
+      let image = images.(idx) in
+      let expected = expected_of_log image.Crash_image.log in
+      let recheck what db =
+        let got = Db.dump_table db ~table in
+        if got <> expected then
+          Alcotest.failf "boundary %d, %s:\n  expected %s\n  got      %s" idx what
+            (show_entries expected) (show_entries got)
+      in
+      let rerecover what image2 =
+        List.iter
+          (fun m ->
+            let recovered, _ = Db.recover image2 m in
+            recheck (Printf.sprintf "%s, re-recovered with %s" what (Recovery.method_to_string m))
+              recovered)
+          [ Recovery.Log2; Recovery.InstantLog2 ]
+      in
+      (* (a) crash during on-demand replay: probe reads fault in some
+         slices, then the "machine dies" with the rest still pending. *)
+      let inst = Db.recover_instant image in
+      let db = Db.instant_db inst in
+      List.iter (fun key -> ignore (Db.read db ~table ~key)) [ 0; 5; 12; 102 ];
+      rerecover "crash during on-demand replay" (Crash_image.capture (Db.engine db));
+      ignore (Db.instant_finish inst);
+      recheck "session continued after mid-ondemand capture" db;
+      (* (b) crash partway through the background drain. *)
+      let inst = Db.recover_instant image in
+      let db = Db.instant_db inst in
+      let half = Db.instant_pending inst / 2 in
+      for _ = 1 to half do
+        ignore (Db.instant_step inst)
+      done;
+      rerecover "crash mid background drain" (Crash_image.capture (Db.engine db));
+      ignore (Db.instant_finish inst);
+      recheck "session continued after mid-drain capture" db)
+    idxs
+
 let suite =
   [
     Alcotest.test_case "every boundary, every method" `Quick test_every_boundary_every_method;
     Alcotest.test_case "cross-method equivalence" `Quick test_cross_method_equivalence;
+    Alcotest.test_case "instant recovery: double crash" `Quick test_instant_double_crash;
   ]

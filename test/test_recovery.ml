@@ -501,6 +501,30 @@ let test_stats_accounting_consistent () =
       check "clock advanced" true (Recovery_stats.total_ms s > 0.0))
     Recovery.all_methods
 
+(* Regression: [Recovery_stats.create] on a registry that already holds
+   "recovery.*" instruments hands back the same handles — a previous run's
+   totals used to leak into the next harness cell through them.  [create]
+   must zero every dial and counter. *)
+let test_stats_reset_between_runs () =
+  let m = Deut_obs.Metrics.create () in
+  let stats = Recovery_stats.create ~metrics:m () in
+  Deut_obs.Metrics.fset stats.Recovery_stats.analysis_us 12.5;
+  Deut_obs.Metrics.fset stats.Recovery_stats.ttft_us 3.25;
+  Deut_obs.Metrics.incr stats.Recovery_stats.records_scanned;
+  Deut_obs.Metrics.add stats.Recovery_stats.redo_applied 41;
+  Deut_obs.Metrics.incr stats.Recovery_stats.pages_ondemand;
+  Deut_obs.Metrics.incr stats.Recovery_stats.losers;
+  let stats' = Recovery_stats.create ~metrics:m () in
+  let s = Recovery_stats.snapshot stats' in
+  check "same handles under a shared registry" true
+    (stats.Recovery_stats.records_scanned == stats'.Recovery_stats.records_scanned);
+  check "analysis dial zeroed" true (s.Recovery_stats.analysis_us = 0.0);
+  check "ttft dial zeroed" true (s.Recovery_stats.ttft_us = 0.0);
+  check_int "records_scanned zeroed" 0 s.Recovery_stats.records_scanned;
+  check_int "redo_applied zeroed" 0 s.Recovery_stats.redo_applied;
+  check_int "pages_ondemand zeroed" 0 s.Recovery_stats.pages_ondemand;
+  check_int "losers zeroed" 0 s.Recovery_stats.losers
+
 let suite =
   [
     Alcotest.test_case "all methods restore committed state" `Quick
@@ -524,6 +548,7 @@ let suite =
     Alcotest.test_case "DPT-order prefetch variant (A.2)" `Quick test_dpt_order_prefetch_variant;
     Alcotest.test_case "crash during undo (CLR resumption)" `Quick test_crash_during_undo;
     Alcotest.test_case "stats accounting" `Quick test_stats_accounting_consistent;
+    Alcotest.test_case "stats reset between runs" `Quick test_stats_reset_between_runs;
     Alcotest.test_case "corruption fails loudly" `Quick test_recovery_detects_corruption;
     QCheck_alcotest.to_alcotest prop_recovery_equivalence;
   ]
