@@ -10,6 +10,7 @@
                        (default BENCH_recovery.json in the working dir) *)
 
 module Figures = Deut_workload.Figures
+module Client_sched = Deut_workload.Client_sched
 module Recovery = Deut_core.Recovery
 module Rs = Deut_core.Recovery_stats
 
@@ -68,7 +69,8 @@ let json_escape s =
   Buffer.contents b
 
 let write_bench_json ~total_wall_s ~(archiving : Figures.archiving_cell list)
-    ~(availability : Figures.availability_cell list) (fig2_cells : Figures.fig2_cell list) =
+    ~(availability : Figures.availability_cell list)
+    ~(sharding : Figures.sharding_cell list) (fig2_cells : Figures.fig2_cell list) =
   let path =
     match Sys.getenv_opt "DEUT_BENCH_JSON" with Some p -> p | None -> "BENCH_recovery.json"
   in
@@ -118,6 +120,24 @@ let write_bench_json ~total_wall_s ~(archiving : Figures.archiving_cell list)
         c.Figures.v_pages_background c.Figures.v_probe_reads
         (if i < n_av - 1 then "," else ""))
     availability;
+  add "  ],\n";
+  add "  \"sharding\": [\n";
+  let n_sh = List.length sharding in
+  List.iteri
+    (fun i (c : Figures.sharding_cell) ->
+      let s = c.Figures.sh_stats in
+      add
+        "    { \"shards\": %d, \"clients\": %d, \"txns\": %d, \"makespan_ms\": %.3f, \
+         \"tput_tps\": %.0f, \"net_msgs\": %d, \"recover_shard_ms\": %s, \
+         \"digest\": \"%s\" }%s\n"
+        c.Figures.sh_shards c.Figures.sh_clients s.Client_sched.committed_txns
+        s.Client_sched.makespan_ms s.Client_sched.throughput_tps c.Figures.sh_net_msgs
+        (match c.Figures.sh_crash with
+        | Some cr -> Printf.sprintf "%.3f" cr.Figures.sc_recover_ms
+        | None -> "null")
+        (json_escape c.Figures.sh_digest)
+        (if i < n_sh - 1 then "," else ""))
+    sharding;
   add "  ],\n";
   add "  \"fig2\": [\n";
   let n_cells = List.length fig2_cells in
@@ -223,6 +243,21 @@ let () =
   section "CONCURRENCY";
   print_string (Figures.concurrency_table conc_cells);
 
+  (* Sharding: one TC driving N data components through the Dc_access
+     protocol.  The runner enforces shard transparency (digest identical
+     in every cell) and runs the single-shard-crash availability scenario
+     per multi-shard cell. *)
+  let shard_counts = if quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let shard_clients = if quick then [ 4 ] else [ 4; 8 ] in
+  let shard_txns = if quick then 120 else 300 in
+  let shard_cells =
+    timed_section "sharding" (fun () ->
+        Figures.run_sharding ~scale ~shards:shard_counts ~clients:shard_clients
+          ~txns:shard_txns ~progress ())
+  in
+  section "SHARDING";
+  print_string (Figures.sharding_table shard_cells);
+
   (* Log archiving: the long-running multi-client workload with periodic
      checkpoint + archive cuts.  The runner enforces the durability
      contract (sealed coverage meets the live base every round), digest
@@ -278,4 +313,5 @@ let () =
     (fun (name, w) -> Printf.printf "  %-14s %7.2f s\n" name w)
     (List.rev !section_walls);
   Printf.printf "  %-14s %7.2f s\n" "total" total_wall_s;
-  write_bench_json ~total_wall_s ~archiving:arch_cells ~availability:avail_cells fig2_cells
+  write_bench_json ~total_wall_s ~archiving:arch_cells ~availability:avail_cells
+    ~sharding:shard_cells fig2_cells

@@ -170,6 +170,48 @@ let clients_cmd =
           group_commit) cell, with the cross-cell determinism digest check")
     Term.(const run $ scale_arg $ cache_arg $ client_counts_arg $ group_commits_arg $ txns_arg)
 
+let shards_cmd =
+  let shard_counts_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8 ]
+      & info [ "counts" ] ~docv:"NS" ~doc:"Comma-separated shard counts to sweep.")
+  in
+  let client_counts_arg =
+    Arg.(
+      value
+      & opt (list int) [ 4; 8 ]
+      & info [ "clients" ] ~docv:"NS" ~doc:"Comma-separated client counts to sweep.")
+  in
+  let txns_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "t"; "txns" ] ~docv:"N" ~doc:"Committed transactions per cell.")
+  in
+  let net_arg =
+    Arg.(
+      value & flag
+      & info [ "net" ]
+          ~doc:
+            "Route the TC-DC protocol over simulated network links (latency model from \
+             DEUT_NET_* / defaults) instead of in-process calls.")
+  in
+  let run scale cache counts clients txns net =
+    print_string
+      (Figures.sharding_table
+         (Figures.run_sharding ~scale ~cache_mb:cache ~shards:counts ~clients ~txns ~net
+            ~progress ()))
+  in
+  Cmd.v
+    (Cmd.info "shards"
+       ~doc:
+         "Sharding sweep: one TC driving N data components per (shards, clients) cell, \
+          with the cross-cell shard-transparency digest check and a single-shard-crash \
+          availability scenario per multi-shard cell")
+    Term.(
+      const run $ scale_arg $ cache_arg $ shard_counts_arg $ client_counts_arg $ txns_arg
+      $ net_arg)
+
 let archive_cmd =
   let clients_arg =
     Arg.(
@@ -638,6 +680,7 @@ let () =
             splitlog_cmd;
             workers_cmd;
             clients_cmd;
+            shards_cmd;
             archive_cmd;
             crash_cmd;
             trace_cmd;

@@ -125,6 +125,29 @@ type t = {
           (0 = cut whenever the archive point advances): batches segment
           churn under workloads that checkpoint frequently *)
   archive_disk : Deut_sim.Disk.params;  (** the archive device's cost model *)
+  shards : int;
+      (** data-component shards (1 = the single-DC engine).  With more than
+          one, the key space is striped ([key mod shards]) across
+          independent DCs — each with its own buffer pool (an equal slice
+          of [pool_pages]), page store, data disk and DC log — driven by
+          the one TC through the {!Dc_access} message protocol; the TC log
+          stays the single commit order, so cross-shard transactions
+          commit atomically.  Implies the split log layout per shard
+          (Δ/BW/SMO records never share the TC log), which bars the
+          physiological methods, ARIES fuzzy checkpoints and InstantLog2.
+          Defaults from the [DEUT_SHARDS] environment variable when
+          set. *)
+  net : bool;
+      (** route TC↔DC messages over simulated network links
+          ({!Deut_net.Link}) with the [net_*] cost model below; off by
+          default — the in-process transport adds zero simulated time, so
+          [shards = 1] without [net] is byte-identical to the pre-protocol
+          engine.  Defaults from [DEUT_NET]. *)
+  net_latency_us : float;  (** one-way message latency ([DEUT_NET_LATENCY_US]) *)
+  net_jitter_us : float;  (** uniform extra delay per message ([DEUT_NET_JITTER_US]) *)
+  net_loss : float;  (** message loss probability ([DEUT_NET_LOSS]) *)
+  net_reorder : float;  (** reorder (late-arrival) probability ([DEUT_NET_REORDER]) *)
+  net_timeout_us : float;  (** retransmit timeout after a loss ([DEUT_NET_TIMEOUT_US]) *)
   seed : int;
 }
 
@@ -135,6 +158,11 @@ let default_redo_workers =
 
 let default_clients =
   match Sys.getenv_opt "DEUT_CLIENTS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
+  | None -> 1
+
+let default_shards =
+  match Sys.getenv_opt "DEUT_SHARDS" with
   | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
   | None -> 1
 
@@ -160,6 +188,12 @@ let of_env config =
     | Some s -> ( match String.trim s with "1" | "true" | "yes" -> true | "0" | "false" | "no" -> false | _ -> current)
     | None -> current
   in
+  let nonneg_float name current =
+    match Sys.getenv_opt name with
+    | Some s -> (
+        match float_of_string_opt (String.trim s) with Some f when f >= 0.0 -> f | _ -> current)
+    | None -> current
+  in
   {
     config with
     trace_capacity = pos_int "DEUT_TRACE_CAP" config.trace_capacity;
@@ -167,6 +201,13 @@ let of_env config =
     clients = pos_int "DEUT_CLIENTS" config.clients;
     archive = flag "DEUT_ARCHIVE" config.archive;
     archive_min_bytes = nonneg_int "DEUT_ARCHIVE_MIN_BYTES" config.archive_min_bytes;
+    shards = pos_int "DEUT_SHARDS" config.shards;
+    net = flag "DEUT_NET" config.net;
+    net_latency_us = nonneg_float "DEUT_NET_LATENCY_US" config.net_latency_us;
+    net_jitter_us = nonneg_float "DEUT_NET_JITTER_US" config.net_jitter_us;
+    net_loss = nonneg_float "DEUT_NET_LOSS" config.net_loss;
+    net_reorder = nonneg_float "DEUT_NET_REORDER" config.net_reorder;
+    net_timeout_us = nonneg_float "DEUT_NET_TIMEOUT_US" config.net_timeout_us;
   }
 
 let default =
@@ -216,5 +257,15 @@ let default =
         sequential_gap = 4;
         batch_seek_factor = 0.75;
       };
+    shards = default_shards;
+    net = (match Sys.getenv_opt "DEUT_NET" with
+          | Some s -> ( match String.trim s with "1" | "true" | "yes" -> true | _ -> false)
+          | None -> false);
+    (* A LAN-ish default cost model, only charged when [net] is on. *)
+    net_latency_us = 50.0;
+    net_jitter_us = 0.0;
+    net_loss = 0.0;
+    net_reorder = 0.0;
+    net_timeout_us = 1000.0;
     seed = 42;
   }

@@ -1,24 +1,50 @@
 (** What survives a crash: the stable page store, the stable log prefix,
-    and the master record (last completed checkpoint).
+    and the master record (last completed checkpoint) — per shard.
 
     A captured image is immutable here: every recovery run instantiates its
     own deep copies, so the five methods of §5.2 can be compared
     side-by-side from the {e same} crash — the paper's controlled
-    methodology. *)
+    methodology.
+
+    The scalar [store]/[dc_log] fields are shard 0 (the whole engine when
+    [shards = 1]); [extra_shards] carries the stable state of shards
+    [1 .. n-1].  The TC log is shared: there is one commit order however
+    many data components there are. *)
 
 module Page_store = Deut_storage.Page_store
 module Log_manager = Deut_wal.Log_manager
 module Lsn = Deut_wal.Lsn
 
+type shard_image = {
+  sh_store : Page_store.t;
+  sh_dc_log : Log_manager.t;  (* every sibling shard runs the split layout *)
+}
+
 type t = {
   config : Config.t;
   store : Page_store.t;
   log : Log_manager.t;  (* TC log, truncated to the stable prefix *)
-  dc_log : Log_manager.t option;  (* the DC's own log in the split layout *)
+  dc_log : Log_manager.t option;  (* shard 0's own log in the split layout *)
   master : Lsn.t;
+  extra_shards : shard_image array;  (* shards 1..n-1; empty when [shards = 1] *)
 }
 
+(* Single-shard images (the common case, and what the crash-point tests
+   hand-assemble): no siblings. *)
+let make ~config ~store ~log ?dc_log ~master () =
+  { config; store; log; dc_log; master; extra_shards = [||] }
+
 let capture (engine : Engine.t) =
+  let extra_shards =
+    Array.init
+      (Engine.shard_count engine - 1)
+      (fun i ->
+        let sh = Engine.shard engine (i + 1) in
+        {
+          sh_store = Page_store.clone sh.Engine.s_store;
+          sh_dc_log = Log_manager.crash sh.Engine.s_dc_log;
+        })
+  in
   {
     config = engine.Engine.config;
     store = Page_store.clone engine.Engine.store;
@@ -26,26 +52,45 @@ let capture (engine : Engine.t) =
     dc_log =
       (if Engine.split engine then Some (Log_manager.crash engine.Engine.dc_log) else None);
     master = Tc.master engine.Engine.tc;
+    extra_shards;
   }
 
 let config t = t.config
 let master t = t.master
+let shard_count t = Array.length t.extra_shards + 1
 
 let instantiate ?config t =
   let config = Option.value config ~default:t.config in
   (* A config override may retune cache sizes etc., but the log layout is a
      property of what was logged: recovering a split image as integrated
      would silently drop the DC log (and vice versa would look for one that
-     does not exist). *)
+     does not exist).  Likewise the shard count: striping placed every key,
+     so the image can only be recovered at the width it was written. *)
   (match (t.dc_log, config.Config.log_layout) with
   | Some _, Config.Split | None, Config.Integrated -> ()
   | Some _, Config.Integrated ->
       invalid_arg "Crash_image.instantiate: split-log image cannot be recovered as integrated"
   | None, Config.Split ->
       invalid_arg "Crash_image.instantiate: integrated image cannot be recovered as split");
+  if Stdlib.max 1 config.Config.shards <> shard_count t then
+    invalid_arg
+      (Printf.sprintf "Crash_image.instantiate: image has %d shard(s), config asks for %d"
+         (shard_count t) config.Config.shards);
   let dc_log = Option.map Log_manager.crash t.dc_log in
-  Engine.assemble ?dc_log config ~store:(Page_store.clone t.store)
+  let extra_shards =
+    if Array.length t.extra_shards = 0 then None
+    else
+      Some
+        (Array.map
+           (fun si -> (Page_store.clone si.sh_store, Log_manager.crash si.sh_dc_log))
+           t.extra_shards)
+  in
+  Engine.assemble ?dc_log ?extra_shards config ~store:(Page_store.clone t.store)
     ~log:(Log_manager.crash t.log)
 
 let log_bytes t = Log_manager.end_lsn t.log
-let stable_pages t = Page_store.stable_count t.store
+
+let stable_pages t =
+  Array.fold_left
+    (fun acc si -> acc + Page_store.stable_count si.sh_store)
+    (Page_store.stable_count t.store) t.extra_shards

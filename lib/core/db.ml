@@ -27,6 +27,7 @@ type error = Db_error.t =
   | No_such_table of int
   | Duplicate_key of { table : int; key : int }
   | Missing_key of { table : int; key : int }
+  | Shard_down of int
 
 let error_to_string = Db_error.to_string
 
@@ -60,44 +61,55 @@ let check_txn t (txn : Txn.t) =
 
 let guarded t txn f = if check_txn t txn then Error Db_error.Txn_finished else f ()
 
+let router t = Engine.router t.engine
+
+(* Inspection and maintenance refuse to run with a shard down rather than
+   hand back a partial view that looks like data loss. *)
+let require_all_up t what =
+  let e = t.engine in
+  for i = 0 to Engine.shard_count e - 1 do
+    if not (Engine.shard_up e i) then
+      invalid_arg (Printf.sprintf "Db.%s: shard %d is down — recover it first" what i)
+  done
+
 let create_table t ~table =
   live t;
-  Dc.create_table t.engine.Engine.dc ~table
+  require_all_up t "create_table";
+  (* Every shard carries the catalog entry: the table's keys stripe across
+     all of them. *)
+  Dc_access.iter_endpoints (router t) (fun ep -> Dc_access.create_table ep ~table)
 
 let tables t =
   live t;
+  require_all_up t "tables";
   Dc.tables t.engine.Engine.dc
 
 let begin_txn ?(client = 0) t =
   live t;
   { Txn.id = Tc.begin_txn t.engine.Engine.tc; db = t; client; finished = false }
 
-let unsafe_txn_of_id ?(client = 0) t ~id =
-  live t;
-  { Txn.id; db = t; client; finished = false }
-
 let insert t txn ~table ~key ~value =
   guarded t txn (fun () ->
       touch_gate t ~table ~key;
-      Tc.execute t.engine.Engine.tc t.engine.Engine.dc ~txn:txn.Txn.id ~table ~key
+      Tc.execute t.engine.Engine.tc (router t) ~txn:txn.Txn.id ~table ~key
         ~op:Lr.Insert ~value:(Some value))
 
 let update t txn ~table ~key ~value =
   guarded t txn (fun () ->
       touch_gate t ~table ~key;
-      Tc.execute t.engine.Engine.tc t.engine.Engine.dc ~txn:txn.Txn.id ~table ~key
+      Tc.execute t.engine.Engine.tc (router t) ~txn:txn.Txn.id ~table ~key
         ~op:Lr.Update ~value:(Some value))
 
 let delete t txn ~table ~key =
   guarded t txn (fun () ->
       touch_gate t ~table ~key;
-      Tc.execute t.engine.Engine.tc t.engine.Engine.dc ~txn:txn.Txn.id ~table ~key
+      Tc.execute t.engine.Engine.tc (router t) ~txn:txn.Txn.id ~table ~key
         ~op:Lr.Delete ~value:None)
 
 let read t ~table ~key =
   live t;
   touch_gate t ~table ~key;
-  Dc.read t.engine.Engine.dc ~table ~key
+  Dc_access.read (Dc_access.endpoint_for (router t) ~table ~key) ~table ~key
 
 let read_locked t txn ~table ~key =
   guarded t txn (fun () ->
@@ -112,17 +124,17 @@ let finish_txn t (txn : Txn.t) what =
 
 let commit_durable t txn =
   finish_txn t txn "commit";
-  Tc.commit t.engine.Engine.tc t.engine.Engine.dc ~txn:txn.Txn.id
+  Tc.commit t.engine.Engine.tc (router t) ~txn:txn.Txn.id
 
 let commit t txn = ignore (commit_durable t txn)
 
 let flush_commits t =
   live t;
-  Tc.flush_commits t.engine.Engine.tc t.engine.Engine.dc
+  Tc.flush_commits t.engine.Engine.tc (router t)
 
 let abort t txn =
   finish_txn t txn "abort";
-  Tc.abort t.engine.Engine.tc t.engine.Engine.dc ~txn:txn.Txn.id
+  Tc.abort t.engine.Engine.tc (router t) ~txn:txn.Txn.id
 
 let put t ~table ~key ~value =
   let txn = begin_txn t in
@@ -151,7 +163,10 @@ let no_maintenance_while_draining t what =
 let checkpoint t =
   live t;
   no_maintenance_while_draining t "checkpoint";
-  Tc.checkpoint t.engine.Engine.tc t.engine.Engine.dc
+  (* RSSP must flush every shard: a checkpoint taken around a down shard
+     would advance the master past records that shard still needs. *)
+  require_all_up t "checkpoint";
+  Tc.checkpoint t.engine.Engine.tc (router t)
 
 let compact_log t =
   live t;
@@ -182,11 +197,15 @@ let compact_log t =
          if point - lo >= (config t).Config.archive_min_bytes then
            ignore (Log_manager.archive_to log ~upto:point)
      | None -> Log_manager.compact log ~keep_from:point);
-  if Engine.split t.engine then begin
-    let dc_point = Dc.dc_archive_point t.engine.Engine.dc in
-    if not (Deut_wal.Lsn.is_nil dc_point) then
-      Log_manager.compact t.engine.Engine.dc_log ~keep_from:dc_point
-  end
+  if Engine.split t.engine then
+    for i = 0 to Engine.shard_count t.engine - 1 do
+      let sh = Engine.shard t.engine i in
+      if Engine.shard_up t.engine i then begin
+        let dc_point = Dc.dc_archive_point sh.Engine.s_dc in
+        if not (Deut_wal.Lsn.is_nil dc_point) then
+          Log_manager.compact sh.Engine.s_dc_log ~keep_from:dc_point
+      end
+    done
 
 let crash t =
   live t;
@@ -225,15 +244,60 @@ let instant_finish i =
   i.i_db.instant_sess <- None;
   stats
 
+(* {2 Per-shard crash and recovery} *)
+
+let shard_count t = Engine.shard_count t.engine
+let shard_up t ~shard = Engine.shard_up t.engine shard
+
+let crash_shard t ~shard =
+  live t;
+  if Tc.active_txns t.engine.Engine.tc <> [||] then
+    invalid_arg
+      "Db.crash_shard: active transactions would be orphaned — commit or abort them first";
+  Engine.crash_shard t.engine shard
+
+let recover_shard t ~shard =
+  live t;
+  Recovery.recover_shard t.engine shard
+
+(* {2 Inspection} *)
+
+(* A whole-table view over shards is the key-sorted merge of each shard's
+   disjoint stripe.  Single-shard engines keep the direct B-tree path. *)
+let merged_entries t ~table ~fold =
+  let e = t.engine in
+  let per =
+    List.init (Engine.shard_count e) (fun i ->
+        let tree = Dc.tree (Engine.shard e i).Engine.s_dc ~table in
+        List.rev (fold tree ~init:[] ~f:(fun acc k v -> (k, v) :: acc)))
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) (List.concat per)
+
 let fold_table t ~table ~init ~f =
   live t;
   scan_gate t;
-  Btree.fold_entries (Dc.tree t.engine.Engine.dc ~table) ~init ~f
+  if shard_count t = 1 then Btree.fold_entries (Dc.tree t.engine.Engine.dc ~table) ~init ~f
+  else begin
+    require_all_up t "fold_table";
+    List.fold_left
+      (fun acc (k, v) -> f acc k v)
+      init
+      (merged_entries t ~table ~fold:Btree.fold_entries)
+  end
 
 let fold_range t ~table ~lo ~hi ~init ~f =
   live t;
   scan_gate t;
-  Deut_btree.Cursor.fold_range (Dc.tree t.engine.Engine.dc ~table) ~lo ~hi ~init ~f
+  if shard_count t = 1 then
+    Deut_btree.Cursor.fold_range (Dc.tree t.engine.Engine.dc ~table) ~lo ~hi ~init ~f
+  else begin
+    require_all_up t "fold_range";
+    List.fold_left
+      (fun acc (k, v) -> f acc k v)
+      init
+      (merged_entries t ~table ~fold:(fun tree ~init ~f ->
+           Deut_btree.Cursor.fold_range tree ~lo ~hi ~init ~f))
+  end
 
 let scan t ~table ~lo ~hi =
   List.rev (fold_range t ~table ~lo ~hi ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
@@ -241,30 +305,54 @@ let scan t ~table ~lo ~hi =
 let dump_table t ~table =
   List.rev (fold_table t ~table ~init:[] ~f:(fun acc key value -> (key, value) :: acc))
 
+let sum_shards t f =
+  let e = t.engine in
+  let acc = ref 0 in
+  for i = 0 to Engine.shard_count e - 1 do
+    acc := !acc + f (Engine.shard e i)
+  done;
+  !acc
+
 let entry_count t ~table =
   live t;
   scan_gate t;
-  Btree.entry_count (Dc.tree t.engine.Engine.dc ~table)
+  if shard_count t = 1 then Btree.entry_count (Dc.tree t.engine.Engine.dc ~table)
+  else begin
+    require_all_up t "entry_count";
+    sum_shards t (fun sh -> Btree.entry_count (Dc.tree sh.Engine.s_dc ~table))
+  end
 
 let check_integrity t =
-  let rec go = function
-    | [] -> Ok ()
-    | table :: rest -> (
-        match Btree.check_tree (Dc.tree t.engine.Engine.dc ~table) with
-        | Ok () -> go rest
-        | Error msg -> Error (Printf.sprintf "table %d: %s" table msg))
+  require_all_up t "check_integrity";
+  let e = t.engine in
+  let check_shard i =
+    let dc = (Engine.shard e i).Engine.s_dc in
+    let rec go = function
+      | [] -> Ok ()
+      | table :: rest -> (
+          match Btree.check_tree (Dc.tree dc ~table) with
+          | Ok () -> go rest
+          | Error msg -> Error (Printf.sprintf "shard %d table %d: %s" i table msg))
+    in
+    go (Dc.tables dc)
   in
-  go (tables t)
+  let rec shards i =
+    if i >= Engine.shard_count e then Ok ()
+    else match check_shard i with Ok () -> shards (i + 1) | Error _ as err -> err
+  in
+  shards 0
 
-let dirty_page_count t = Pool.dirty_count t.engine.Engine.pool
-let cached_page_count t = Pool.size t.engine.Engine.pool
-let deltas_written t = Monitor.deltas_written (Dc.monitor t.engine.Engine.dc)
-let bws_written t = Monitor.bws_written (Dc.monitor t.engine.Engine.dc)
-let delta_bytes t = Monitor.delta_bytes (Dc.monitor t.engine.Engine.dc)
-let bw_bytes t = Monitor.bw_bytes (Dc.monitor t.engine.Engine.dc)
+let dirty_page_count t = sum_shards t (fun sh -> Pool.dirty_count sh.Engine.s_pool)
+let cached_page_count t = sum_shards t (fun sh -> Pool.size sh.Engine.s_pool)
+let deltas_written t = sum_shards t (fun sh -> Monitor.deltas_written (Dc.monitor sh.Engine.s_dc))
+let bws_written t = sum_shards t (fun sh -> Monitor.bws_written (Dc.monitor sh.Engine.s_dc))
+let delta_bytes t = sum_shards t (fun sh -> Monitor.delta_bytes (Dc.monitor sh.Engine.s_dc))
+let bw_bytes t = sum_shards t (fun sh -> Monitor.bw_bytes (Dc.monitor sh.Engine.s_dc))
 let log_end t = Log_manager.end_lsn t.engine.Engine.log
 let log_record_count t = Log_manager.record_count t.engine.Engine.log
-let allocated_pages t = Deut_storage.Page_store.allocated_count t.engine.Engine.store
+
+let allocated_pages t =
+  sum_shards t (fun sh -> Deut_storage.Page_store.allocated_count sh.Engine.s_store)
 let now_ms t = Deut_sim.Clock.now_ms t.engine.Engine.clock
 let stats t = Engine_stats.capture t.engine
 let stats_string t = Engine_stats.to_string (stats t)

@@ -26,6 +26,7 @@ type error = Db_error.t =
   | No_such_table of int
   | Duplicate_key of { table : int; key : int }
   | Missing_key of { table : int; key : int }
+  | Shard_down of int
 
 val error_to_string : error -> string
 
@@ -52,6 +53,9 @@ val engine : t -> Engine.t
 val config : t -> Config.t
 
 val create_table : t -> table:int -> unit
+(** Create the table on every shard (its keys stripe across all of them).
+    Raises [Invalid_argument] while any shard is down. *)
+
 val tables : t -> int list
 
 (** {2 Transactions} *)
@@ -65,7 +69,9 @@ val update : t -> Txn.t -> table:int -> key:int -> value:string -> (unit, error)
 val delete : t -> Txn.t -> table:int -> key:int -> (unit, error) result
 
 val read : t -> table:int -> key:int -> string option
-(** Latch-free read outside any transaction (no lock, no isolation). *)
+(** Latch-free read outside any transaction (no lock, no isolation).
+    Routed to the key's shard; raises {!Dc_access.Unavailable} if that
+    shard is down. *)
 
 val read_locked : t -> Txn.t -> table:int -> key:int -> (string option, error) result
 (** Transactional read: takes a shared key lock first when [Config.locking]
@@ -89,13 +95,11 @@ val abort : t -> Txn.t -> unit
 val put : t -> table:int -> key:int -> value:string -> unit
 (** Auto-commit upsert convenience. *)
 
-val unsafe_txn_of_id : ?client:int -> t -> id:int -> Txn.t
-[@@alert deprecated "test-only shim for the retired int-txn API; handles made \
-                     this way skip begin_txn and may alias live transactions"]
-
 (** {2 Checkpointing, crash, recovery} *)
 
 val checkpoint : t -> unit
+(** Raises [Invalid_argument] while a shard is down: RSSP must flush every
+    shard before the master record may advance. *)
 
 val compact_log : t -> unit
 (** Archive log bytes no recovery could need (before the last completed
@@ -113,6 +117,31 @@ val recover : ?config:Config.t -> Crash_image.t -> Recovery.method_ -> t * Recov
 (** [recover image InstantLog2] drains the background redo fully before
     returning — the offline-equivalent (and determinism-gated) form.  Use
     {!recover_instant} for the open-while-redoing form. *)
+
+(** {2 Shards}
+
+    With [Config.shards] > 1 the key space stripes over that many data
+    components ([key mod shards]), each with its own store, cache and DC
+    log, all driven by the one TC through the {!Dc_access} protocol.  A
+    single shard can crash and recover while its siblings keep serving:
+    operations routed to the down shard return [Error (Shard_down _)]
+    (reads raise {!Dc_access.Unavailable}); everything else proceeds. *)
+
+val shard_count : t -> int
+
+val shard_up : t -> shard:int -> bool
+
+val crash_shard : t -> shard:int -> unit
+(** Kill one data component: its cache (dirty pages included) and unforced
+    DC-log tail vanish; stable pages and the stable DC-log prefix survive.
+    The db handle stays live.  Raises [Invalid_argument] on single-shard
+    engines (use {!crash}), if the shard is already down, or while any
+    transaction is active — quiesce first. *)
+
+val recover_shard : t -> shard:int -> unit
+(** Replay the crashed shard — its own DC log, then its stripe of the TC
+    log from the master record — and put it back in service.  Runs on the
+    live engine; siblings and the TC are untouched. *)
 
 (** {2 Instant recovery}
 

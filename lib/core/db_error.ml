@@ -14,6 +14,10 @@ type t =
   | No_such_table of int
   | Duplicate_key of { table : int; key : int }
   | Missing_key of { table : int; key : int }
+  | Shard_down of int
+      (** The data component holding this key is crashed and not yet
+          recovered; siblings keep serving.  The caller should abort the
+          transaction and retry after [Db.recover_shard]. *)
 
 let to_string = function
   | Lock_conflict { holder } -> Printf.sprintf "lock conflict with txn %d" holder
@@ -21,3 +25,4 @@ let to_string = function
   | No_such_table table -> Printf.sprintf "no such table %d" table
   | Duplicate_key { table; key } -> Printf.sprintf "duplicate key %d in table %d" key table
   | Missing_key { table; key } -> Printf.sprintf "missing key %d in table %d" key table
+  | Shard_down shard -> Printf.sprintf "shard %d is down" shard

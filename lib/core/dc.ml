@@ -32,7 +32,7 @@ type t = {
   mutable redo_track : int option;  (* trace lane override for redo_op spans *)
 }
 
-let create ?trace ~config ~clock ~disk ~store ~pool ~dc_log ~tc_force_upto () =
+let create ?trace ~config ~clock ~disk ~store ~pool ~dc_log ~tc () =
   let elsn_ref = ref Lsn.nil in
   let monitor =
     Monitor.create ?trace ~config
@@ -79,8 +79,10 @@ let create ?trace ~config ~clock ~disk ~store ~pool ~dc_log ~tc_force_upto () =
       ensure_stable =
         (fun ~tc_lsn ~dc_lsn ->
           (* WAL on both LSN domains; one shared log in the integrated
-             layout just gets forced twice. *)
-          tc_force_upto tc_lsn;
+             layout just gets forced twice.  The TC-side force is a
+             [Force_upto] message — the only request a DC ever makes
+             against the TC. *)
+          ignore (Dc_access.force_upto tc tc_lsn);
           Log_manager.force_upto dc_log dc_lsn;
           (* The force response carries the new end-of-stable-log. *)
           if tc_lsn > !elsn_ref then elsn_ref := tc_lsn);
@@ -351,6 +353,9 @@ let apply_view t ~(view : Lr.redo_view) ~pid ~lsn =
   | Lr.Delete, _ -> Btree.apply_delete tr ~pid ~key:view.Lr.rv_key ~lsn
   | (Lr.Insert | Lr.Update), None -> invalid_arg "Dc.apply_view: insert/update without a value"
 
+(* The pLSN test (sound because a zero-initialised page header reports
+   pLSN 0 and the log reserves offset 0 — no record ever carries lsn 0,
+   so a fresh page always tests strictly below every record). *)
 let fetch_and_test_then_apply t ~lsn ~view ~pid ~(stats : Recovery_stats.cells) =
   let page = Pool.get t.pool pid in
   if lsn <= Page.plsn page then Metrics.incr stats.Recovery_stats.skipped_plsn
@@ -408,3 +413,39 @@ let redo_physiological t ~lsn ~(view : Lr.redo_view) ~use_dpt ~(stats : Recovery
    end
    else fetch_and_test_then_apply t ~lsn ~view ~pid ~stats);
   note_redo_op t ~lsn ~pid ~ts0
+
+(* {2 The protocol server} *)
+
+(* Serve one [Dc_access] request.  This is the only entry the transports
+   call: every protocol interaction — in-process or networked — lands
+   here and dispatches to the operations above, so the message API and
+   the direct API cannot drift apart. *)
+let handle t (req : Dc_access.request) : Dc_access.reply =
+  match req with
+  | Dc_access.Prepare { table; key; op; value_len } ->
+      Dc_access.Prepared (prepare t ~table ~key ~op ~value_len)
+  | Dc_access.Apply { table; pid; key; op; value; lsn; tick } ->
+      apply t ~table ~pid ~key ~op ~value ~lsn;
+      if tick then tick_update t;
+      Dc_access.Ack
+  | Dc_access.Read { table; key } -> Dc_access.Value (read t ~table ~key)
+  | Dc_access.Eosl lsn ->
+      eosl t lsn;
+      Dc_access.Ack
+  | Dc_access.Rssp lsn ->
+      rssp t lsn;
+      Dc_access.Ack
+  | Dc_access.Create_table table ->
+      create_table t ~table;
+      Dc_access.Ack
+  | Dc_access.Has_table table -> Dc_access.Known (has_table t ~table)
+  | Dc_access.Runtime_dpt -> Dc_access.Dpt_entries (Monitor.runtime_dpt t.monitor)
+  | Dc_access.Redo_logical { lsn; view; use_dpt; stats } ->
+      redo_logical t ~lsn ~view ~use_dpt ~stats;
+      Dc_access.Ack
+  | Dc_access.Redo_physiological { lsn; view; use_dpt; stats } ->
+      redo_physiological t ~lsn ~view ~use_dpt ~stats;
+      Dc_access.Ack
+  | Dc_access.Redo_smo { lsn; smo; dpt_test; stats } ->
+      redo_smo t ~lsn ~smo ~dpt_test ~stats;
+      Dc_access.Ack

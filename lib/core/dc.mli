@@ -22,13 +22,14 @@ val create :
   store:Deut_storage.Page_store.t ->
   pool:Deut_buffer.Buffer_pool.t ->
   dc_log:Deut_wal.Log_manager.t ->
-  tc_force_upto:(Deut_wal.Lsn.t -> unit) ->
+  tc:Dc_access.tc_endpoint ->
   unit ->
   t
 (** [dc_log] is where the DC's own records (SMOs, Δ, BW) go — the shared
     log in the integrated layout, its own log in the split layout.  Wires
     the buffer-pool hooks: dirty/flush events feed the monitor, and flushes
-    enforce WAL on both logs (TC log through [tc_force_upto], the DC log
+    enforce WAL on both logs (the TC log through [tc]'s [Force_upto]
+    message — the DC's only request against the TC — and the DC log
     directly). *)
 
 val config : t -> Config.t
@@ -160,3 +161,11 @@ val redo_smo :
     With [dpt_test], pages absent from the DPT are skipped without IO (the
     physiological pass); without, the stable DC pLSN decides (the DC pass,
     which runs before any DPT exists). *)
+
+(** {2 The protocol server} *)
+
+val handle : t -> Dc_access.request -> Dc_access.reply
+(** Serve one {!Dc_access} request — the single dispatch every transport
+    (in-process or networked) lands on, so the message protocol and the
+    direct API above cannot drift apart.  [Apply] with [tick] folds the
+    Δ-monitor update tick into the same message. *)

@@ -1,6 +1,14 @@
 (** Assembly of one running engine instance: clock, disks, stable store,
-    log, cache, DC, TC, plus the observability bundle.  [Db] wraps this
-    for users; the recovery drivers assemble one from a crash image. *)
+    log, cache, DC shards, TC, plus the observability bundle.  [Db] wraps
+    this for users; the recovery drivers assemble one from a crash image.
+
+    The TC side never holds a [Dc.t] — it holds a {!Dc_access.router}
+    whose endpoints dispatch into the shards, either in-process (the
+    default: a closure straight onto {!Dc.handle}, zero simulated cost)
+    or over a per-shard {!Deut_net.Link} when [Config.net] is on.  With
+    [Config.shards = 1] and the in-process transport the assembly below
+    is structurally identical to the pre-protocol engine, which is what
+    keeps its digests byte-identical. *)
 
 module Clock = Deut_sim.Clock
 module Disk = Deut_sim.Disk
@@ -8,64 +16,118 @@ module Page_store = Deut_storage.Page_store
 module Log_manager = Deut_wal.Log_manager
 module Archive = Deut_wal.Archive
 module Pool = Deut_buffer.Buffer_pool
+module Link = Deut_net.Link
 module Obs = Deut_obs.Obs
 module Trace = Deut_obs.Trace
 module Metrics = Deut_obs.Metrics
 
+(* One data component: its own stable store, cache, DC log and devices.
+   The mutable fields are what a per-shard crash destroys and a per-shard
+   recovery rebuilds; the router's endpoint closures read them afresh on
+   every call, so a recovered shard swaps in without re-wiring the TC. *)
+type shard = {
+  s_id : int;
+  s_data_disk : Disk.t;
+  s_dc_log_disk : Disk.t option;  (* [None] only in the integrated layout *)
+  s_link : Link.t option;  (* the simulated TC↔DC link when [Config.net] *)
+  mutable s_store : Page_store.t;
+  mutable s_dc_log : Log_manager.t;
+  mutable s_pool : Pool.t;
+  mutable s_dc : Dc.t;
+  mutable s_up : bool;
+}
+
 type t = {
   config : Config.t;
   clock : Clock.t;
-  data_disk : Disk.t;
+  data_disk : Disk.t;  (* shard 0's data device *)
   log_disk : Disk.t;
-  dc_log_disk : Disk.t option;  (* the DC log's own device in the split layout *)
+  dc_log_disk : Disk.t option;  (* shard 0's DC-log device in the split layout *)
   archive_disk : Disk.t option;  (* the archive's device when archiving is on *)
-  store : Page_store.t;
+  mutable store : Page_store.t;  (* alias of [shards.(0).s_store] *)
   log : Log_manager.t;  (* the TC log; also carries DC records when integrated *)
-  dc_log : Log_manager.t;  (* == [log] in the integrated layout *)
-  pool : Pool.t;
-  dc : Dc.t;
+  mutable dc_log : Log_manager.t;  (* == [log] in the integrated layout *)
+  mutable pool : Pool.t;  (* alias of [shards.(0).s_pool] *)
+  mutable dc : Dc.t;  (* alias of [shards.(0).s_dc] *)
   tc : Tc.t;
   obs : Obs.t;
+  shards : shard array;
+  router : Dc_access.router;
+  tc_ep : Dc_access.tc_endpoint;  (* the un-networked DC→TC direction *)
 }
 
 let split t = not (t.dc_log == t.log)
 let obs t = t.obs
 let trace t = Obs.trace t.obs
 let metrics t = Obs.metrics t.obs
+let shard_count t = Array.length t.shards
+let shard t i = t.shards.(i)
+let shard_up t i = t.shards.(i).s_up
+let router t = t.router
+
+(* Per-shard layout: more than one shard forces the split layout (each DC
+   logs into its own short log — pids are per-shard page spaces, so a
+   single integrated log would interleave records no one shard could
+   replay) and an equal slice of the cache budget. *)
+let normalize config =
+  if config.Config.shards <= 1 then config
+  else begin
+    if config.Config.checkpoint_mode = Config.Aries_fuzzy then
+      invalid_arg
+        "Engine: ARIES fuzzy checkpoints need a single physical page space (shards = 1)";
+    { config with Config.log_layout = Config.Split }
+  end
+
+let shard_pool_pages config =
+  if config.Config.shards <= 1 then config.Config.pool_pages
+  else Stdlib.max 8 (config.Config.pool_pages / config.Config.shards)
+
+(* Keep the scalar shard-0 aliases live across per-shard recovery. *)
+let sync_shard0 t =
+  let sh = t.shards.(0) in
+  t.store <- sh.s_store;
+  t.dc_log <- sh.s_dc_log;
+  t.pool <- sh.s_pool;
+  t.dc <- sh.s_dc
 
 (* Lazy gauges over every live counter the engine keeps, so [Engine_stats]
    and the CLI read one namespace instead of crawling component records.
-   Reading a gauge never mutates anything. *)
+   Reading a gauge never mutates anything; every per-shard counter is
+   summed across shards (a single shard reads exactly as before). *)
 let register_gauges t =
   let m = metrics t in
   let fi name f = Metrics.gauge m name (fun () -> float_of_int (f ())) in
   let ff name f = Metrics.gauge m name f in
-  let pc = Pool.counters t.pool in
-  fi "cache.capacity" (fun () -> Pool.capacity t.pool);
-  fi "cache.resident" (fun () -> Pool.size t.pool);
-  fi "cache.dirty" (fun () -> Pool.dirty_count t.pool);
-  fi "cache.hits" (fun () -> pc.Pool.hits);
-  fi "cache.misses" (fun () -> pc.Pool.misses);
-  fi "cache.prefetch_issued" (fun () -> pc.Pool.prefetch_issued);
-  fi "cache.prefetch_hits" (fun () -> pc.Pool.prefetch_hits);
-  fi "cache.stalls" (fun () -> pc.Pool.stalls);
-  ff "cache.stall_us" (fun () -> pc.Pool.stall_us);
-  fi "cache.evictions" (fun () -> pc.Pool.evictions);
-  fi "cache.flushes" (fun () -> pc.Pool.flushes);
-  let dd = Disk.counters t.data_disk in
-  fi "disk.data.pages_read" (fun () -> dd.Disk.pages_read);
-  fi "disk.data.pages_written" (fun () -> dd.Disk.pages_written);
-  fi "disk.data.seeks" (fun () -> dd.Disk.seeks);
-  fi "disk.data.sequential" (fun () -> dd.Disk.sequential_requests);
-  let ld = Disk.counters t.log_disk in
-  fi "disk.log.pages_read" (fun () -> ld.Disk.pages_read);
+  let sum f = Array.fold_left (fun acc sh -> acc + f sh) 0 t.shards in
+  let sumf f = Array.fold_left (fun acc sh -> acc +. f sh) 0.0 t.shards in
+  fi "cache.capacity" (fun () -> sum (fun sh -> Pool.capacity sh.s_pool));
+  fi "cache.resident" (fun () -> sum (fun sh -> Pool.size sh.s_pool));
+  fi "cache.dirty" (fun () -> sum (fun sh -> Pool.dirty_count sh.s_pool));
+  let pc f = sum (fun sh -> f (Pool.counters sh.s_pool)) in
+  fi "cache.hits" (fun () -> pc (fun c -> c.Pool.hits));
+  fi "cache.misses" (fun () -> pc (fun c -> c.Pool.misses));
+  fi "cache.prefetch_issued" (fun () -> pc (fun c -> c.Pool.prefetch_issued));
+  fi "cache.prefetch_hits" (fun () -> pc (fun c -> c.Pool.prefetch_hits));
+  fi "cache.stalls" (fun () -> pc (fun c -> c.Pool.stalls));
+  ff "cache.stall_us" (fun () -> sumf (fun sh -> (Pool.counters sh.s_pool).Pool.stall_us));
+  fi "cache.evictions" (fun () -> pc (fun c -> c.Pool.evictions));
+  fi "cache.flushes" (fun () -> pc (fun c -> c.Pool.flushes));
+  let dd f = sum (fun sh -> f (Disk.counters sh.s_data_disk)) in
+  fi "disk.data.pages_read" (fun () -> dd (fun c -> c.Disk.pages_read));
+  fi "disk.data.pages_written" (fun () -> dd (fun c -> c.Disk.pages_written));
+  fi "disk.data.seeks" (fun () -> dd (fun c -> c.Disk.seeks));
+  fi "disk.data.sequential" (fun () -> dd (fun c -> c.Disk.sequential_requests));
+  fi "disk.log.pages_read" (fun () -> (Disk.counters t.log_disk).Disk.pages_read);
   fi "log.tc.records" (fun () -> Log_manager.record_count t.log);
   fi "log.tc.end_lsn" (fun () -> Log_manager.end_lsn t.log);
   fi "log.tc.base_lsn" (fun () -> Log_manager.base_lsn t.log);
   fi "log.tc.forces" (fun () -> Log_manager.force_count t.log);
-  fi "log.dc.records" (fun () -> if split t then Log_manager.record_count t.dc_log else 0);
-  fi "log.dc.end_lsn" (fun () -> if split t then Log_manager.end_lsn t.dc_log else 0);
-  fi "log.dc.base_lsn" (fun () -> if split t then Log_manager.base_lsn t.dc_log else 0);
+  fi "log.dc.records" (fun () ->
+      if split t then sum (fun sh -> Log_manager.record_count sh.s_dc_log) else 0);
+  fi "log.dc.end_lsn" (fun () ->
+      if split t then sum (fun sh -> Log_manager.end_lsn sh.s_dc_log) else 0);
+  fi "log.dc.base_lsn" (fun () ->
+      if split t then sum (fun sh -> Log_manager.base_lsn sh.s_dc_log) else 0);
   (* Archive gauges are registered unconditionally (0 with archiving off)
      so dashboards and [Engine_stats] read a stable namespace. *)
   let arch f = fun () -> match Log_manager.archive t.log with Some a -> f a | None -> 0 in
@@ -77,20 +139,69 @@ let register_gauges t =
       match t.archive_disk with Some d -> (Disk.counters d).Disk.pages_written | None -> 0);
   fi "disk.archive.pages_read" (fun () ->
       match t.archive_disk with Some d -> (Disk.counters d).Disk.pages_read | None -> 0);
-  let monitor = Dc.monitor t.dc in
-  fi "monitor.delta_records" (fun () -> Monitor.deltas_written monitor);
-  fi "monitor.delta_bytes" (fun () -> Monitor.delta_bytes monitor);
-  fi "monitor.bw_records" (fun () -> Monitor.bws_written monitor);
-  fi "monitor.bw_bytes" (fun () -> Monitor.bw_bytes monitor);
-  fi "store.allocated" (fun () -> Page_store.allocated_count t.store);
-  fi "store.stable" (fun () -> Page_store.stable_count t.store);
+  let mon f = sum (fun sh -> f (Dc.monitor sh.s_dc)) in
+  fi "monitor.delta_records" (fun () -> mon Monitor.deltas_written);
+  fi "monitor.delta_bytes" (fun () -> mon Monitor.delta_bytes);
+  fi "monitor.bw_records" (fun () -> mon Monitor.bws_written);
+  fi "monitor.bw_bytes" (fun () -> mon Monitor.bw_bytes);
+  fi "store.allocated" (fun () -> sum (fun sh -> Page_store.allocated_count sh.s_store));
+  fi "store.stable" (fun () -> sum (fun sh -> Page_store.stable_count sh.s_store));
   fi "tc.commits" (fun () -> Tc.commit_count t.tc);
   fi "tc.aborts" (fun () -> Tc.abort_count t.tc);
   fi "locks.conflicts" (fun () -> Tc.lock_conflicts t.tc);
   fi "locks.keys" (fun () -> Tc.locked_keys t.tc);
+  fi "shards.total" (fun () -> Array.length t.shards);
+  fi "shards.up" (fun () -> sum (fun sh -> if sh.s_up then 1 else 0));
+  let net f =
+    sumf (fun sh -> match sh.s_link with Some l -> f (Link.counters l) | None -> 0.0)
+  in
+  fi "net.messages" (fun () -> int_of_float (net (fun c -> float_of_int c.Link.messages)));
+  fi "net.retransmits" (fun () ->
+      int_of_float (net (fun c -> float_of_int c.Link.retransmits)));
+  fi "net.reorders" (fun () -> int_of_float (net (fun c -> float_of_int c.Link.reorders)));
+  ff "net.delay_us" (fun () -> net (fun c -> c.Link.delay_us));
   ff "clock.now_us" (fun () -> Clock.now t.clock)
 
-let assemble ?dc_log config ~store ~log =
+(* The in-process endpoint for one shard: a closure onto [Dc.handle],
+   reading the mutable [s_dc]/[s_up] at every call so per-shard recovery
+   swaps components without re-wiring.  Costs nothing on the clock. *)
+let local_endpoint sh =
+  {
+    Dc_access.shard = sh.s_id;
+    call =
+      (fun req ->
+        if not sh.s_up then raise (Dc_access.Unavailable sh.s_id);
+        Dc.handle sh.s_dc req);
+  }
+
+let make_endpoint sh =
+  let ep = local_endpoint sh in
+  match sh.s_link with Some link -> Dc_access.networked link ep | None -> ep
+
+(* Assemble one shard's stack: devices, cache, DC.  [store]/[dc_log] come
+   from the caller (fresh or a crash image); [tc] is this shard's view of
+   the TC (networked when the link is). *)
+let assemble_shard ?trace ~config ~clock ~m ~tc ~i ~store ~dc_log ~data_disk ~dc_log_disk
+    ~link () =
+  (match dc_log_disk with
+  | Some disk ->
+      Log_manager.attach_read_disk dc_log disk;
+      Log_manager.instrument dc_log ?trace ()
+  | None -> ());
+  let pool =
+    Pool.create ~capacity:(shard_pool_pages config) ~block_pages:config.Config.block_pages
+      ~lazy_writer_every:config.Config.lazy_writer_every
+      ~lazy_writer_min_age:(2 * config.Config.delta_period) ~store ~disk:data_disk ~clock ()
+  in
+  Pool.instrument pool ?trace ~stall_hist:(Metrics.histogram m "cache.stall_wait_us") ();
+  let tc = match link with Some l -> Dc_access.networked_tc l tc | None -> tc in
+  let dc = Dc.create ?trace ~config ~clock ~disk:data_disk ~store ~pool ~dc_log ~tc () in
+  { s_id = i; s_data_disk = data_disk; s_dc_log_disk = dc_log_disk; s_link = link;
+    s_store = store; s_dc_log = dc_log; s_pool = pool; s_dc = dc; s_up = true }
+
+let assemble ?dc_log ?extra_shards config ~store ~log =
+  let config = normalize config in
+  let n = Stdlib.max 1 config.Config.shards in
   let clock = Clock.create () in
   let trace =
     if config.Config.tracing then
@@ -107,7 +218,9 @@ let assemble ?dc_log config ~store ~log =
     ~track:Trace.track_log_disk ();
   Log_manager.attach_read_disk log log_disk;
   Log_manager.instrument log ?trace ();
-  let dc_log, dc_log_disk =
+  (* Shard 0's DC log keeps the historical single-shard wiring (shared log
+     when integrated, own log and device when split). *)
+  let dc_log0, dc_log_disk0 =
     match config.Config.log_layout with
     | Config.Integrated -> (log, None)
     | Config.Split ->
@@ -119,8 +232,6 @@ let assemble ?dc_log config ~store ~log =
         let disk = Disk.create ~params:config.Config.log_disk clock in
         Disk.instrument disk ?trace ~io_hist:(Metrics.histogram m "disk.dc_log.io_us")
           ~track:Trace.track_dc_log_disk ();
-        Log_manager.attach_read_disk own disk;
-        Log_manager.instrument own ?trace ();
         (own, Some disk)
   in
   (* Attach the archive when configured on — or when the log already
@@ -147,32 +258,77 @@ let assemble ?dc_log config ~store ~log =
     end
     else None
   in
-  let pool =
-    Pool.create ~capacity:config.Config.pool_pages ~block_pages:config.Config.block_pages
-      ~lazy_writer_every:config.Config.lazy_writer_every
-      ~lazy_writer_min_age:(2 * config.Config.delta_period) ~store ~disk:data_disk ~clock ()
+  let tc_ep =
+    {
+      Dc_access.tc_call =
+        (fun (Dc_access.Force_upto lsn) ->
+          Log_manager.force_upto log lsn;
+          Dc_access.Forced (Log_manager.stable_lsn log));
+    }
   in
-  Pool.instrument pool ?trace ~stall_hist:(Metrics.histogram m "cache.stall_wait_us") ();
-  let dc =
-    Dc.create ?trace ~config ~clock ~disk:data_disk ~store ~pool ~dc_log
-      ~tc_force_upto:(Log_manager.force_upto log) ()
+  let link_for i =
+    if not config.Config.net then None
+    else
+      let track = if n = 1 then Trace.track_net else Trace.track_shard i in
+      let params =
+        {
+          Link.latency_us = config.Config.net_latency_us;
+          jitter_us = config.Config.net_jitter_us;
+          loss = config.Config.net_loss;
+          reorder = config.Config.net_reorder;
+          timeout_us = config.Config.net_timeout_us;
+        }
+      in
+      Some (Link.create ?trace ~track ~clock ~params ~seed:(config.Config.seed + (7919 * (i + 1))) ())
   in
+  let shard_of i =
+    if i = 0 then
+      assemble_shard ?trace ~config ~clock ~m ~tc:tc_ep ~i:0 ~store ~dc_log:dc_log0
+        ~data_disk ~dc_log_disk:dc_log_disk0 ~link:(link_for 0) ()
+    else begin
+      (* Sibling shards: own data device and DC-log device on distinct
+         trace lanes, own store and short log. *)
+      let s_store, s_dc_log =
+        match extra_shards with
+        | Some a -> a.(i - 1)
+        | None ->
+            ( Page_store.create ~page_size:config.Config.page_size,
+              Log_manager.create ~page_size:config.Config.page_size )
+      in
+      let d = Disk.create ~params:config.Config.data_disk clock in
+      Disk.instrument d ?trace
+        ~io_hist:(Metrics.histogram m (Printf.sprintf "shard%d.disk.data.io_us" i))
+        ~track:(Trace.track_shard i) ();
+      let ld = Disk.create ~params:config.Config.log_disk clock in
+      Disk.instrument ld ?trace
+        ~io_hist:(Metrics.histogram m (Printf.sprintf "shard%d.disk.dc_log.io_us" i))
+        ~track:(Trace.track_shard i) ();
+      assemble_shard ?trace ~config ~clock ~m ~tc:tc_ep ~i ~store:s_store ~dc_log:s_dc_log
+        ~data_disk:d ~dc_log_disk:(Some ld) ~link:(link_for i) ()
+    end
+  in
+  let shards = Array.init n shard_of in
+  let router = Dc_access.make_router (Array.map make_endpoint shards) in
   let tc = Tc.create ?trace ~config ~log () in
+  let sh0 = shards.(0) in
   let t =
     {
       config;
       clock;
       data_disk;
       log_disk;
-      dc_log_disk;
+      dc_log_disk = dc_log_disk0;
       archive_disk;
-      store;
+      store = sh0.s_store;
       log;
-      dc_log;
-      pool;
-      dc;
+      dc_log = sh0.s_dc_log;
+      pool = sh0.s_pool;
+      dc = sh0.s_dc;
       tc;
       obs;
+      shards;
+      router;
+      tc_ep;
     }
   in
   register_gauges t;
@@ -182,5 +338,56 @@ let fresh config =
   let store = Page_store.create ~page_size:config.Config.page_size in
   let log = Log_manager.create ~page_size:config.Config.page_size in
   let t = assemble config ~store ~log in
-  Dc.format t.dc;
+  Array.iter (fun sh -> Dc.format sh.s_dc) t.shards;
   t
+
+(* {2 Per-shard crash and revival}
+
+   A single data component failing is the availability story the sharded
+   engine exists to tell: its volatile state dies (cache dirt, the DC
+   log's unforced tail), its durable state survives (stable pages, stable
+   DC-log prefix), the TC and the sibling shards never notice beyond
+   [Shard_down] errors on the crashed stripe.  [Recovery.recover_shard]
+   replays the survivor state and flips the shard back up. *)
+
+let rebuild_shard t sh ~dc_log =
+  let tr = trace t in
+  (match sh.s_dc_log_disk with
+  | Some disk ->
+      Log_manager.attach_read_disk dc_log disk;
+      Log_manager.instrument dc_log ?trace:tr ()
+  | None -> ());
+  let pool =
+    Pool.create ~capacity:(shard_pool_pages t.config) ~block_pages:t.config.Config.block_pages
+      ~lazy_writer_every:t.config.Config.lazy_writer_every
+      ~lazy_writer_min_age:(2 * t.config.Config.delta_period) ~store:sh.s_store
+      ~disk:sh.s_data_disk ~clock:t.clock ()
+  in
+  Pool.instrument pool ?trace:tr
+    ~stall_hist:(Metrics.histogram (metrics t) "cache.stall_wait_us") ();
+  let tc =
+    match sh.s_link with Some l -> Dc_access.networked_tc l t.tc_ep | None -> t.tc_ep
+  in
+  let dc =
+    Dc.create ?trace:tr ~config:t.config ~clock:t.clock ~disk:sh.s_data_disk ~store:sh.s_store
+      ~pool ~dc_log ~tc ()
+  in
+  sh.s_dc_log <- dc_log;
+  sh.s_pool <- pool;
+  sh.s_dc <- dc;
+  sync_shard0 t
+
+let crash_shard t i =
+  if Array.length t.shards = 1 then
+    invalid_arg "Engine.crash_shard: a single-shard engine crashes whole (use Db.crash)";
+  let sh = t.shards.(i) in
+  if not sh.s_up then invalid_arg (Printf.sprintf "Engine.crash_shard: shard %d already down" i);
+  sh.s_up <- false;
+  (* The cache (with its dirty pages) vanishes; the DC log truncates to its
+     stable prefix; the stable store is the disk and stays. *)
+  rebuild_shard t sh ~dc_log:(Log_manager.crash sh.s_dc_log);
+  match trace t with
+  | Some tr ->
+      Trace.instant tr ~name:"shard_crash" ~cat:"shard" ~track:(Trace.track_shard i)
+        ~args:[ ("shard", i) ] ()
+  | None -> ()

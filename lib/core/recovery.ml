@@ -340,8 +340,144 @@ let redo_pass method_ (engine : Engine.t) (scan : scan_result) ~(stats : Recover
     Dc.set_redo_track dc None
   end
 
+(* Sharded offline recovery: every shard replays its own short DC log and
+   its own stripe of the shared TC log, overlapped on the virtual clock —
+   the phase costs what the slowest shard costs, which is the point of
+   recovering shards in parallel.  Only the logical methods run here: the
+   TC log carries no page ids that mean anything across per-shard page
+   spaces, and the sharded engine always runs the split layout.  Redo goes
+   through the same {!Dc_access} endpoints normal execution uses, so a
+   networked recovery pays the wire for every replayed record. *)
+let recover_offline_sharded ?undo_fault_after_clrs engine image method_ =
+  let clock = engine.Engine.clock in
+  let log = engine.Engine.log in
+  let tc = engine.Engine.tc in
+  let router = Engine.router engine in
+  let n = Engine.shard_count engine in
+  let trace = Engine.trace engine in
+  let stats = Recovery_stats.create ~metrics:(Engine.metrics engine) () in
+  let phase name ~ts0 =
+    match trace with
+    | Some tr ->
+        Trace.span tr ~name ~cat:"phase" ~track:Trace.track_recovery ~ts:ts0
+          ~dur:(Clock.now clock -. ts0) ()
+    | None -> ()
+  in
+  let bckpt = Crash_image.master image in
+  let each_shard f =
+    for i = 0 to n - 1 do
+      f i (Engine.shard engine i)
+    done
+  in
+  (* Overlap one per-shard phase on the clock: rewind to the phase start
+     for each shard, run it, and resume at the slowest cursor. *)
+  let overlapped f =
+    let t0 = Clock.now clock in
+    let horizon = ref t0 in
+    each_shard (fun i sh ->
+        Clock.set clock t0;
+        f i sh;
+        if Clock.now clock > !horizon then horizon := Clock.now clock);
+    Clock.set clock !horizon
+  in
+  each_shard (fun _ sh ->
+      Pool.reset_counters sh.Engine.s_pool;
+      Pool.set_lazy_writer_enabled sh.Engine.s_pool false;
+      Dc.set_merge_allowed sh.Engine.s_dc false);
+  (* Phase 1: per-shard DC recovery (SMO replay + DPT build), in parallel. *)
+  let build_dpt = method_ <> Log0 in
+  let t0 = Clock.now clock in
+  overlapped (fun _ sh ->
+      Dc.dc_recovery sh.Engine.s_dc ~log:sh.Engine.s_dc_log ~from:Lsn.nil ~bckpt ~build_dpt
+        ~stats;
+      if method_ = Log2 then Dc.preload_indexes sh.Engine.s_dc ~stats);
+  Metrics.fset stats.Recovery_stats.analysis_us (Clock.now clock -. t0);
+  phase "analysis" ~ts0:t0;
+  (* Phase 2: one sequential scan of the single TC log. *)
+  let t1 = Clock.now clock in
+  let scan = scan_log log ~from:bckpt in
+  phase "log_scan" ~ts0:t1;
+  Metrics.add stats.Recovery_stats.records_scanned (Array.length scan.records);
+  (* Phase 3: redo, partitioned by the same striping the TC routed with,
+     each shard's slice in log order through its endpoint. *)
+  let t_redo = Clock.now clock in
+  let use_dpt = build_dpt in
+  overlapped (fun i _sh ->
+      let ep = router.Dc_access.endpoints.(i) in
+      Array.iter
+        (fun (lsn, record) ->
+          match Lr.redo_view record with
+          | Some view
+            when router.Dc_access.route ~table:view.Lr.rv_table ~key:view.Lr.rv_key = i ->
+              Dc_access.redo_logical ep ~lsn ~view ~use_dpt ~stats
+          | Some _ | None -> ())
+        scan.records);
+  Metrics.fset stats.Recovery_stats.redo_us (Clock.now clock -. t1);
+  phase "redo" ~ts0:t_redo;
+  (* Phase 4: logical undo of losers through the router — compensations
+     route to whichever shard holds each key, exactly like live aborts. *)
+  each_shard (fun _ sh -> Dc.set_merge_allowed sh.Engine.s_dc true);
+  let t2 = Clock.now clock in
+  Tc.restore_txn_state tc ~losers:scan.losers ~next_txn:(scan.max_txn + 1);
+  Tc.set_master tc bckpt;
+  Metrics.add stats.Recovery_stats.losers (List.length scan.losers);
+  (try
+     List.iter
+       (fun (txn, last) ->
+         let budget =
+           Option.map
+             (fun fuel -> fuel - Metrics.count stats.Recovery_stats.clrs_written)
+             undo_fault_after_clrs
+         in
+         Metrics.add stats.Recovery_stats.clrs_written
+           (Tc.undo_txn ?fault_after_clrs:budget tc router ~txn ~last))
+       scan.losers
+   with Tc.Undo_interrupted clrs -> Metrics.add stats.Recovery_stats.clrs_written clrs);
+  Metrics.fset stats.Recovery_stats.undo_us (Clock.now clock -. t2);
+  phase "undo" ~ts0:t2;
+  each_shard (fun _ sh -> Pool.set_lazy_writer_enabled sh.Engine.s_pool true);
+  (* Finalise the IO accounting, summed across shards. *)
+  let fetches = ref 0 and stall = ref 0.0 and issued = ref 0 and hits = ref 0 in
+  let stalls = ref 0 and log_reads = ref 0 in
+  each_shard (fun _ sh ->
+      let c = Pool.counters sh.Engine.s_pool in
+      fetches := !fetches + c.Pool.misses + c.Pool.prefetch_hits;
+      stall := !stall +. c.Pool.stall_us;
+      issued := !issued + c.Pool.prefetch_issued;
+      hits := !hits + c.Pool.prefetch_hits;
+      stalls := !stalls + c.Pool.stalls;
+      match sh.Engine.s_dc_log_disk with
+      | Some d -> log_reads := !log_reads + (Disk.counters d).Disk.pages_read
+      | None -> ());
+  Metrics.add stats.Recovery_stats.data_page_fetches
+    (!fetches - Metrics.count stats.Recovery_stats.index_page_fetches);
+  Metrics.fset stats.Recovery_stats.data_stall_us
+    (!stall -. Metrics.value stats.Recovery_stats.index_stall_us);
+  Metrics.add stats.Recovery_stats.log_pages_read
+    (!log_reads
+    + (Disk.counters engine.Engine.log_disk).Disk.pages_read
+    + (match engine.Engine.archive_disk with
+      | Some d -> (Disk.counters d).Disk.pages_read
+      | None -> 0));
+  Metrics.add stats.Recovery_stats.prefetch_issued !issued;
+  Metrics.add stats.Recovery_stats.prefetch_hits !hits;
+  Metrics.add stats.Recovery_stats.stalls !stalls;
+  Option.iter Trace.stop trace;
+  each_shard (fun _ sh -> Dc.open_tables sh.Engine.s_dc);
+  (engine, Recovery_stats.snapshot stats)
+
 let recover_offline ?config ?undo_fault_after_clrs image method_ =
   let engine = Crash_image.instantiate ?config image in
+  if Engine.shard_count engine > 1 then begin
+    if (not (is_logical method_)) || method_ = InstantLog2 then
+      invalid_arg
+        (Printf.sprintf
+           "Recovery.recover: %s needs a single physical page space and cannot run sharded \
+            — use Log0/Log1/Log2"
+           (method_to_string method_));
+    recover_offline_sharded ?undo_fault_after_clrs engine image method_
+  end
+  else begin
   let { Engine.clock; log; pool; dc; tc; _ } = engine in
   let split = Engine.split engine in
   if split && not (is_logical method_) then
@@ -420,7 +556,7 @@ let recover_offline ?config ?undo_fault_after_clrs image method_ =
              undo_fault_after_clrs
          in
          Metrics.add stats.Recovery_stats.clrs_written
-           (Tc.undo_txn ?fault_after_clrs:budget tc dc ~txn ~last))
+           (Tc.undo_txn ?fault_after_clrs:budget tc (Engine.router engine) ~txn ~last))
        scan.losers
    with Tc.Undo_interrupted n -> Metrics.add stats.Recovery_stats.clrs_written n);
   Metrics.fset stats.Recovery_stats.undo_us (Clock.now clock -. t2);
@@ -447,6 +583,7 @@ let recover_offline ?config ?undo_fault_after_clrs image method_ =
   Option.iter Trace.stop trace;
   Dc.open_tables dc;
   (engine, Recovery_stats.snapshot stats)
+  end
 
 (* ---------- Instant recovery (InstantLog2) ---------- *)
 
@@ -570,7 +707,7 @@ let ensure_undo sess =
   if not sess.i_undone then begin
     sess.i_undone <- true;
     let engine = sess.i_engine in
-    let { Engine.clock; dc; tc; _ } = engine in
+    let { Engine.clock; tc; _ } = engine in
     let stats = sess.i_stats in
     let t2 = Clock.now clock in
     (try
@@ -582,7 +719,7 @@ let ensure_undo sess =
                sess.i_undo_fault
            in
            Metrics.add stats.Recovery_stats.clrs_written
-             (Tc.undo_txn ?fault_after_clrs:budget tc dc ~txn ~last))
+             (Tc.undo_txn ?fault_after_clrs:budget tc (Engine.router engine) ~txn ~last))
          sess.i_losers
      with Tc.Undo_interrupted n -> Metrics.add stats.Recovery_stats.clrs_written n);
     Hashtbl.reset sess.i_loser_keys;
@@ -614,6 +751,9 @@ let instant_force_undo sess = ensure_undo sess
    all. *)
 let recover_instant ?config ?undo_fault_after_clrs image =
   let engine = Crash_image.instantiate ?config image in
+  if Engine.shard_count engine > 1 then
+    invalid_arg
+      "Recovery.recover_instant: instant recovery needs a single data component (shards = 1)";
   let { Engine.clock; log; pool; dc; tc; _ } = engine in
   let split = Engine.split engine in
   let trace = Engine.trace engine in
@@ -769,3 +909,52 @@ let recover ?config ?undo_fault_after_clrs image method_ =
       let stats = instant_finish sess in
       (sess.i_engine, stats)
   | _ -> recover_offline ?config ?undo_fault_after_clrs image method_
+
+(* ---------- Live single-shard recovery ---------- *)
+
+(* The availability story (§6 directions): one data component died, the TC
+   and the sibling shards never stopped.  Replay the crashed shard's own
+   DC log (SMO images + DPT), then its stripe of the TC log from the
+   master record — the TC is alive, so its in-memory tail is readable and
+   nothing any sibling committed is lost — and rejoin.  There is no undo:
+   [Db.crash_shard] requires a quiesced transaction table, so every
+   replayed record belongs to a winner.  Idempotence comes from the same
+   pLSN tests normal logical redo uses. *)
+let recover_shard engine i =
+  let sh = Engine.shard engine i in
+  if sh.Engine.s_up then
+    invalid_arg (Printf.sprintf "Recovery.recover_shard: shard %d is not down" i);
+  let clock = engine.Engine.clock in
+  let log = engine.Engine.log in
+  let router = Engine.router engine in
+  let trace = Engine.trace engine in
+  let stats = Recovery_stats.create () in
+  let t0 = Clock.now clock in
+  (* Flip up first: recovery replays through the shard's own endpoint, the
+     same protocol channel normal redo drives a remote DC with. *)
+  sh.Engine.s_up <- true;
+  Pool.set_lazy_writer_enabled sh.Engine.s_pool false;
+  Dc.set_merge_allowed sh.Engine.s_dc false;
+  let bckpt = Tc.master engine.Engine.tc in
+  Dc.dc_recovery sh.Engine.s_dc ~log:sh.Engine.s_dc_log ~from:Lsn.nil ~bckpt ~build_dpt:true
+    ~stats;
+  let ep = router.Dc_access.endpoints.(i) in
+  Log_manager.iter log ~from:bckpt (fun lsn record ->
+      match Lr.redo_view record with
+      | Some view
+        when router.Dc_access.route ~table:view.Lr.rv_table ~key:view.Lr.rv_key = i ->
+          Dc_access.redo_logical ep ~lsn ~view ~use_dpt:true ~stats
+      | Some _ | None -> ());
+  Dc.set_merge_allowed sh.Engine.s_dc true;
+  Pool.set_lazy_writer_enabled sh.Engine.s_pool true;
+  Dc.open_tables sh.Engine.s_dc;
+  (* Re-seed the end-of-stable-log notifications the shard missed while
+     down. *)
+  Dc_access.eosl ep (Log_manager.stable_lsn log);
+  match trace with
+  | Some tr ->
+      Trace.span tr ~name:"shard_recovery" ~cat:"shard" ~track:(Trace.track_shard i) ~ts:t0
+        ~dur:(Clock.now clock -. t0)
+        ~args:[ ("shard", i) ]
+        ()
+  | None -> ()

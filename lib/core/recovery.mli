@@ -51,6 +51,17 @@ val recover :
     system that crashed mid-undo (crash it and recover again to exercise
     CLR/undo-next resumption). *)
 
+(** {1 Per-shard recovery} *)
+
+val recover_shard : Engine.t -> int -> unit
+(** Live recovery of one crashed shard ([Engine.crash_shard]) on a running
+    engine: replay its own DC log (SMO images + DPT), then its stripe of
+    the shared TC log from the master record — the TC is alive, so its
+    volatile tail is readable and no sibling's commit is lost — and put
+    the shard back in service.  No undo: [Db.crash_shard] requires a
+    quiesced transaction table.  Raises [Invalid_argument] if the shard is
+    not down. *)
+
 (** {1 Instant recovery}
 
     The staged form of [InstantLog2].  [recover_instant] runs analysis and

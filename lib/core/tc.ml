@@ -81,36 +81,44 @@ let locked_keys t = Lock_table.locked_keys t.locks
 let commit_count t = t.commits
 let abort_count t = t.aborts
 
-let execute t dc ~txn ~table ~key ~op ~value =
+(* One data operation, end to end over the protocol: route the key to its
+   shard, [Prepare] there (before-image back), log the logical record on
+   the TC log, [Apply] under the record's LSN (the apply message carries
+   the Δ-monitor tick).  A crashed shard surfaces as [Shard_down] — the
+   transaction can abort while siblings keep serving. *)
+let execute t router ~txn ~table ~key ~op ~value =
   let prev_lsn = last_lsn_of t txn in
   let value_len = match value with Some v -> String.length v | None -> 0 in
-  if not (Dc.has_table dc ~table) then Error (Db_error.No_such_table table)
-  else
-  match lock t ~txn ~table ~key Lock_table.Exclusive with
-  | Error _ as e -> e
-  | Ok () ->
-  match Dc.prepare dc ~table ~key ~op ~value_len with
-  | Deut_btree.Btree.Duplicate_key -> Error (Db_error.Duplicate_key { table; key })
-  | Deut_btree.Btree.Missing_key -> Error (Db_error.Missing_key { table; key })
-  | Deut_btree.Btree.Leaf { pid; before } ->
-      let lsn =
-        Log_manager.append t.log
-          (Lr.Update_rec { txn; table; key; op; before; after = value; pid_hint = pid; prev_lsn })
-      in
-      if Lsn.is_nil prev_lsn then Hashtbl.replace t.starts txn lsn;
-      Hashtbl.replace t.active txn lsn;
-      Dc.apply dc ~table ~pid ~key ~op ~value ~lsn;
-      Dc.tick_update dc;
-      Ok ()
+  try
+    let ep = Dc_access.endpoint_for router ~table ~key in
+    if not (Dc_access.has_table ep ~table) then Error (Db_error.No_such_table table)
+    else
+    match lock t ~txn ~table ~key Lock_table.Exclusive with
+    | Error _ as e -> e
+    | Ok () ->
+    match Dc_access.prepare ep ~table ~key ~op ~value_len with
+    | Deut_btree.Btree.Duplicate_key -> Error (Db_error.Duplicate_key { table; key })
+    | Deut_btree.Btree.Missing_key -> Error (Db_error.Missing_key { table; key })
+    | Deut_btree.Btree.Leaf { pid; before } ->
+        let lsn =
+          Log_manager.append t.log
+            (Lr.Update_rec { txn; table; key; op; before; after = value; pid_hint = pid; prev_lsn })
+        in
+        if Lsn.is_nil prev_lsn then Hashtbl.replace t.starts txn lsn;
+        Hashtbl.replace t.active txn lsn;
+        Dc_access.apply ep ~table ~pid ~key ~op ~value ~lsn ~tick:true;
+        Ok ()
+  with Dc_access.Unavailable shard -> Error (Db_error.Shard_down shard)
 
-let force_now t dc =
+let force_now t router =
   Log_manager.force t.log;
   t.queued_commits <- 0;
-  Dc.eosl dc (Log_manager.stable_lsn t.log)
+  (* EOSL to every live shard; a crashed one is re-seeded at recovery. *)
+  Dc_access.broadcast_eosl router (Log_manager.stable_lsn t.log)
 
-let flush_commits t dc = force_now t dc
+let flush_commits t router = force_now t router
 
-let commit t dc ~txn =
+let commit t router ~txn =
   ignore (last_lsn_of t txn);
   ignore (Log_manager.append t.log (Lr.Commit { txn }));
   Hashtbl.remove t.active txn;
@@ -119,7 +127,7 @@ let commit t dc ~txn =
   t.commits <- t.commits + 1;
   t.queued_commits <- t.queued_commits + 1;
   if t.queued_commits >= Stdlib.max 1 t.config.Config.group_commit then begin
-    force_now t dc;
+    force_now t router;
     true
   end
   else false
@@ -129,7 +137,7 @@ exception Undo_interrupted of int
 (* Walk the backward chain, compensating each update.  CLRs are redo-only:
    their undo-next pointer lets a crash-interrupted undo resume where it
    left off instead of compensating twice. *)
-let undo_txn ?fault_after_clrs t dc ~txn ~last =
+let undo_txn ?fault_after_clrs t router ~txn ~last =
   let clrs = ref 0 in
   let maybe_fault () =
     match fault_after_clrs with
@@ -148,7 +156,8 @@ let undo_txn ?fault_after_clrs t dc ~txn ~last =
       | Lr.Delete -> (Lr.Insert, u.Lr.before)
     in
     let value_len = match value with Some v -> String.length v | None -> 0 in
-    match Dc.prepare dc ~table:u.Lr.table ~key:u.Lr.key ~op ~value_len with
+    let ep = Dc_access.endpoint_for router ~table:u.Lr.table ~key:u.Lr.key in
+    match Dc_access.prepare ep ~table:u.Lr.table ~key:u.Lr.key ~op ~value_len with
     | Deut_btree.Btree.Leaf { pid; _ } ->
         let lsn =
           Log_manager.append t.log
@@ -164,7 +173,8 @@ let undo_txn ?fault_after_clrs t dc ~txn ~last =
                })
         in
         Hashtbl.replace t.active txn lsn;
-        Dc.apply dc ~table:u.Lr.table ~pid ~key:u.Lr.key ~op ~value ~lsn;
+        (* Compensations do not tick the Δ monitor, as before. *)
+        Dc_access.apply ep ~table:u.Lr.table ~pid ~key:u.Lr.key ~op ~value ~lsn ~tick:false;
         incr clrs
     | Deut_btree.Btree.Duplicate_key | Deut_btree.Btree.Missing_key ->
         failwith "Tc.undo_txn: compensation rejected — state diverged from the log"
@@ -189,7 +199,7 @@ let undo_txn ?fault_after_clrs t dc ~txn ~last =
   Hashtbl.remove t.active txn;
   Hashtbl.remove t.starts txn;
   Lock_table.release_all t.locks ~txn;
-  force_now t dc;
+  force_now t router;
   !clrs
 
 (* The (table, key) pairs a loser transaction wrote, gathered from the same
@@ -217,24 +227,28 @@ let loser_keys t ~txn ~last =
   walk last;
   !keys
 
-let abort t dc ~txn =
+let abort t router ~txn =
   t.aborts <- t.aborts + 1;
-  ignore (undo_txn t dc ~txn ~last:(last_lsn_of t txn))
+  ignore (undo_txn t router ~txn ~last:(last_lsn_of t txn))
 
-let checkpoint t dc =
+let checkpoint t router =
   let ts0 = match t.trace with Some tr -> Deut_obs.Trace.now tr | None -> 0.0 in
   let bckpt = Log_manager.append t.log Lr.Begin_ckpt in
-  force_now t dc;
+  force_now t router;
   (match t.config.Config.checkpoint_mode with
   | Config.Penultimate ->
-      (* RSSP: the DC must flush everything dirtied before [bckpt] before
-         the checkpoint may complete. *)
-      Dc.rssp dc bckpt
+      (* RSSP to every shard: each must flush everything dirtied before
+         [bckpt] before the checkpoint may complete.  A crashed shard
+         cannot honour it, so the [Unavailable] propagates — checkpoints
+         wait until every shard is back. *)
+      Dc_access.iter_endpoints router (fun ep -> Dc_access.rssp ep bckpt)
   | Config.Aries_fuzzy ->
-      let entries = Monitor.runtime_dpt (Dc.monitor dc) in
+      (* Single-shard only (the assembly bars it otherwise): the captured
+         DPT holds physical pids, meaningless across shards. *)
+      let entries = Dc_access.runtime_dpt router.Dc_access.endpoints.(0) in
       ignore (Log_manager.append t.log (Lr.Aries_ckpt_dpt { entries })));
   ignore (Log_manager.append t.log (Lr.End_ckpt { bckpt; active = active_txns t }));
-  force_now t dc;
+  force_now t router;
   t.master <- bckpt;
   match t.trace with
   | Some tr ->

@@ -30,6 +30,9 @@ let track_monitor = 6
 let track_archive_disk = 7
 let worker_track_base = 8
 let track_worker w = worker_track_base + w
+let track_net = 39
+let shard_track_base = 40
+let track_shard s = shard_track_base + s
 let track_ondemand = 63
 let client_track_base = 64
 let track_client c = client_track_base + c
@@ -43,8 +46,10 @@ let track_name = function
   | 5 -> "wal"
   | 6 -> "monitor"
   | 7 -> "archive-disk"
+  | 39 -> "net"
   | 63 -> "ondemand-redo"
   | n when n >= client_track_base -> "client-" ^ string_of_int (n - client_track_base)
+  | n when n >= shard_track_base -> "shard-" ^ string_of_int (n - shard_track_base)
   | n when n >= worker_track_base -> "redo-worker-" ^ string_of_int (n - worker_track_base)
   | n -> "track-" ^ string_of_int n
 

@@ -45,8 +45,17 @@ val track_archive_disk : int
 
 val track_worker : int -> int
 (** [track_worker w] is the lane for simulated redo worker [w] (lanes
-    8–62).  Parallel replay routes each worker's [redo_op] and [stall]
+    8–38).  Parallel replay routes each worker's [redo_op] and [stall]
     spans here so a trace shows per-worker IO overlap. *)
+
+val track_net : int
+(** Lane 39: the simulated network — per-message [net_rpc] spans and
+    loss/reorder instants from {!Deut_net.Link}. *)
+
+val track_shard : int -> int
+(** [track_shard s] is the lane for data-component shard [s] (lanes
+    40–62): its data/DC-log device IO and its redo replay during
+    per-shard recovery. *)
 
 val track_ondemand : int
 (** Lane 63: instant recovery's on-demand page replay.  Each page slice

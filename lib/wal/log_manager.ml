@@ -38,14 +38,22 @@ type t = {
          already checked. *)
 }
 
+(* Offset 0 is reserved: the first record lands at [genesis] so that 0 —
+   the pLSN a zero-initialised page header reports — unambiguously means
+   "before every record".  Without the reservation, a log whose first
+   record carries no preceding system records (the split layout's TC log,
+   a fresh DC log) puts that record at offset 0, and the redo pLSN test
+   [lsn <= plsn] cannot tell a fresh page from one that already holds it. *)
+let genesis = 1
+
 let create ~page_size =
   if page_size <= 0 then invalid_arg "Log_manager.create: page_size must be positive";
   {
     page_size;
-    base = 0;
+    base = genesis;
     data = Bytes.create 65536;
-    len = 0;
-    stable = 0;
+    len = genesis;
+    stable = genesis;
     records = 0;
     forces = 0;
     read_disk = None;
@@ -54,7 +62,7 @@ let create ~page_size =
     archive = None;
     on_archive = None;
     scratch = Codec.writer ();
-    verified_upto = 0;
+    verified_upto = genesis;
   }
 
 let set_append_hook t hook = t.on_append <- hook

@@ -16,6 +16,11 @@
 
 type t
 
+val genesis : Lsn.t
+(** Offset of a fresh log's first record.  Offset 0 is reserved so that a
+    zero-initialised page header's pLSN (0) unambiguously tests below
+    every record in the redo pLSN test. *)
+
 val create : page_size:int -> t
 val page_size : t -> int
 

@@ -36,6 +36,9 @@ let paper_setup ?(scale = 32) ?(ckpt_multiplier = 1) ?(dpt_mode = Config.Standar
       delta_period;
       dpt_mode;
       checkpoint_mode;
+      (* The paper's experiment is a single data component; callers that
+         want a sharded cell (Figures.run_sharding) override this. *)
+      shards = 1;
       seed = 42 + cache_mb;
     }
   in

@@ -158,6 +158,49 @@ val concurrency_table : concurrency_cell list -> string
 (** Throughput, abort rate, wound/conflict counts and commit-latency
     p50/p95 per (clients, group_commit) row. *)
 
+(** The single-shard-crash availability scenario run inside a multi-shard
+    sweep cell. *)
+type sharding_crash = {
+  sc_shard : int;  (** which shard was crashed *)
+  sc_sibling_reads : int;  (** reads served by siblings while it was down *)
+  sc_recover_ms : float;  (** virtual time for {!Deut_core.Db.recover_shard} *)
+}
+
+(** One (shards, clients) cell of the sharding sweep. *)
+type sharding_cell = {
+  sh_shards : int;
+  sh_clients : int;
+  sh_stats : Client_sched.stats;
+  sh_digest : string;  (** logical digest — equal in every cell *)
+  sh_net_msgs : int;  (** Dc_access messages over {!Deut_net.Link} (0 in-process) *)
+  sh_crash : sharding_crash option;  (** [None] on single-shard cells *)
+}
+
+val run_sharding :
+  ?scale:int ->
+  ?cache_mb:int ->
+  ?shards:int list ->
+  ?clients:int list ->
+  ?txns:int ->
+  ?net:bool ->
+  ?progress:(string -> unit) ->
+  unit ->
+  sharding_cell list
+(** Fresh database per (shards, clients) cell, same workload seed
+    everywhere; [txns] transactions through {!Driver.run_concurrent},
+    oracle-verified, with the final logical digest cross-checked to be
+    identical in every cell (shard transparency — raising otherwise).
+    Each multi-shard cell then crashes its last shard on the live engine,
+    serves sibling reads while it is down, recovers it alone with
+    {!Deut_core.Db.recover_shard}, and re-checks the digest.  [net] routes
+    the Dc_access protocol over simulated {!Deut_net.Link}s.  Defaults:
+    scale 64, cache 256 MB, shards {1, 2, 4, 8}, clients {4, 8},
+    300 transactions, in-process transport. *)
+
+val sharding_table : sharding_cell list -> string
+(** Throughput per (shards, clients) row plus the availability scenario's
+    sibling-read count and per-shard recovery time. *)
+
 (** One round of the log-archiving growth sweep. *)
 type archiving_round = {
   ar_round : int;

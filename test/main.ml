@@ -21,6 +21,7 @@ let () =
       ("archive", Test_archive.suite);
       ("parallel-redo", Test_parallel_redo.suite);
       ("concurrency", Test_concurrency.suite);
+      ("sharding", Test_sharding.suite);
       ("analysis", Test_analysis.suite);
       ("hotpath", Test_hotpath.suite);
     ]

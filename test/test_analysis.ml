@@ -28,6 +28,7 @@ let traced_config =
     pool_pages = 48;
     delta_period = 40;
     delta_capacity = 64;
+    shards = 1;
     tracing = true;
     trace_capacity = 1 lsl 18;
     (* Pin the timing overlays so the single-cursor invariants below

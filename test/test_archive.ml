@@ -34,6 +34,7 @@ let base_config =
     pool_pages = 32;
     delta_period = 10;
     delta_capacity = 64;
+    shards = 1;
     archive = false;
   }
 
@@ -171,13 +172,10 @@ let test_crash_during_archiving () =
        (fun step ->
          images :=
            ( step,
-             {
-               Crash_image.config = engine.Engine.config;
-               store = Page_store.clone engine.Engine.store;
-               log = Log.crash log;
-               dc_log = None;
-               master = Tc.master engine.Engine.tc;
-             } )
+             Crash_image.make ~config:engine.Engine.config
+               ~store:(Page_store.clone engine.Engine.store)
+               ~log:(Log.crash log)
+               ~master:(Tc.master engine.Engine.tc) () )
            :: !images));
   Db.compact_log db;
   Log.set_archive_hook log None;
@@ -204,15 +202,17 @@ let test_crash_during_archiving () =
       (match step with
       | Log.Archive_segment_partial ->
           check "partial: live log not yet cut" true
-            (Log.base_lsn image.Crash_image.log = 0);
+            (Log.base_lsn image.Crash_image.log = Log.genesis);
           (match Log.archive image.Crash_image.log with
           | Some a -> check "partial: unsealed residue is not durable" true
                         (Archive.segment_count a = 0 && Archive.start_lsn a = None)
           | None -> Alcotest.fail "partial: archive missing from image")
       | Log.Archive_segment_sealed ->
-          check "sealed: live log not yet cut" true (Log.base_lsn image.Crash_image.log = 0)
+          check "sealed: live log not yet cut" true
+            (Log.base_lsn image.Crash_image.log = Log.genesis)
       | Log.Archive_truncate_torn ->
-          check "torn: live log partly cut" true (Log.base_lsn image.Crash_image.log > 0)
+          check "torn: live log partly cut" true
+            (Log.base_lsn image.Crash_image.log > Log.genesis)
       | Log.Archive_truncated -> ());
       List.iter
         (fun m ->

@@ -19,6 +19,7 @@ let config ~clients ~group_commit =
     Config.page_size = 1024;
     pool_pages = 64;
     locking = true;
+    shards = 1;
     clients;
     group_commit;
   }

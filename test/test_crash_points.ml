@@ -30,6 +30,7 @@ let small_config =
     pool_pages = 32;
     delta_period = 10;
     delta_capacity = 64;
+    shards = 1;
   }
 
 let ok = function Ok () -> () | Error e -> Alcotest.fail (Db.error_to_string e)
@@ -92,13 +93,10 @@ let build_images () =
        (fun _lsn ->
          let boundary = Log.end_lsn log in
          images :=
-           {
-             Crash_image.config = engine.Engine.config;
-             store = Page_store.clone engine.Engine.store;
-             log = Log.crash_at log boundary;
-             dc_log = None;
-             master = Tc.master engine.Engine.tc;
-           }
+           Crash_image.make ~config:engine.Engine.config
+             ~store:(Page_store.clone engine.Engine.store)
+             ~log:(Log.crash_at log boundary)
+             ~master:(Tc.master engine.Engine.tc) ()
            :: !images));
   let records_before = Db.log_record_count db in
   run_workload db;

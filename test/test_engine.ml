@@ -15,7 +15,8 @@ module Pool = Deut_buffer.Buffer_pool
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let config = { Config.default with Config.page_size = 1024; pool_pages = 48; delta_period = 50 }
+let config =
+  { Config.default with Config.page_size = 1024; pool_pages = 48; delta_period = 50; shards = 1 }
 
 let make () =
   let db = Db.create ~config () in
@@ -113,20 +114,17 @@ let test_crash_poisons_handle () =
   let recovered, _ = Db.recover image Deut_core.Recovery.Log1 in
   check "recovered handle lives" true (Db.read recovered ~table:1 ~key:1 = Some "a")
 
-(* The deprecated int-id shim, kept only so tests can rebuild a handle from
-   a raw transaction id. *)
-module Shim = struct
-  [@@@alert "-deprecated"]
-
-  let test_int_shim () =
-    let db = make () in
-    let txn = Db.begin_txn db in
-    ok (Db.insert db txn ~table:1 ~key:1 ~value:"a");
-    let alias = Db.unsafe_txn_of_id db ~id:(Db.Txn.id txn) in
-    ok (Db.update db alias ~table:1 ~key:1 ~value:"b");
-    Db.commit db alias;
-    check "aliased handle drove the txn" true (Db.read db ~table:1 ~key:1 = Some "b")
-end
+(* One transaction, one handle: the typed [Db.Txn.t] is the only way to
+   drive a transaction (the old int-id shim is gone), and the handle keeps
+   working across several operations before its single commit. *)
+let test_txn_handle_reuse () =
+  let db = make () in
+  let txn = Db.begin_txn db in
+  ok (Db.insert db txn ~table:1 ~key:1 ~value:"a");
+  ok (Db.update db txn ~table:1 ~key:1 ~value:"b");
+  check "own id is stable" true (Db.Txn.id txn > 0);
+  Db.commit db txn;
+  check "handle drove the txn" true (Db.read db ~table:1 ~key:1 = Some "b")
 
 let test_put_upsert () =
   let db = make () in
@@ -312,7 +310,7 @@ let suite =
     Alcotest.test_case "interleaved txns" `Quick test_interleaved_txns;
     Alcotest.test_case "txn handle misuse" `Quick test_txn_handle_misuse;
     Alcotest.test_case "crash poisons the handle" `Quick test_crash_poisons_handle;
-    Alcotest.test_case "int-id shim" `Quick Shim.test_int_shim;
+    Alcotest.test_case "txn handle reuse" `Quick test_txn_handle_reuse;
     Alcotest.test_case "put upsert" `Quick test_put_upsert;
     Alcotest.test_case "WAL invariant under churn" `Quick test_wal_invariant_under_churn;
     Alcotest.test_case "penultimate checkpoint cleans" `Quick test_penultimate_checkpoint_cleans;

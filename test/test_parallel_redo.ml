@@ -26,6 +26,7 @@ let small_config ?(tracing = false) ?(workers = 1) () =
     pool_pages = 48;
     delta_period = 40;
     delta_capacity = 64;
+    shards = 1;
     redo_workers = workers;
     tracing;
     trace_capacity = 1 lsl 18;

@@ -1,0 +1,369 @@
+(* Sharded data components behind the Dc_access protocol (§4.1 made
+   explicit): shard transparency (same workload, same digest, at any shard
+   count), whole-image crash/recovery at shards = 4, single-shard crash
+   with siblings serving and per-shard recovery, cross-shard commit
+   atomicity through the one TC log, the simulated-network transport's
+   determinism, and the guard rails (barred methods, env knobs). *)
+
+module Db = Deut_core.Db
+module Config = Deut_core.Config
+module Engine = Deut_core.Engine
+module Dc_access = Deut_core.Dc_access
+module Recovery = Deut_core.Recovery
+module Metrics = Deut_obs.Metrics
+module Workload = Deut_workload.Workload
+module Driver = Deut_workload.Driver
+module Client_sched = Deut_workload.Client_sched
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let config ?(shards = 4) ?(net = false) () =
+  {
+    Config.default with
+    Config.page_size = 1024;
+    pool_pages = 64;
+    locking = true;
+    clients = 4;
+    shards;
+    net;
+  }
+
+let spec ~rows = { Workload.default with Workload.rows; seed = 1903 }
+
+let verified driver db =
+  match Driver.verify_recovered driver db with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let table = 1
+
+(* A small hand-driven db: [n] committed rows striped over every shard. *)
+let seeded ?shards ?net ~rows () =
+  let db = Db.create ~config:(config ?shards ?net ()) () in
+  Db.create_table db ~table;
+  for k = 0 to rows - 1 do
+    Db.put db ~table ~key:k ~value:(Printf.sprintf "v%d" k)
+  done;
+  Db.flush_commits db;
+  db
+
+(* {2 Shard transparency} *)
+
+(* The facade contract: striping is invisible.  The same seeded workload
+   must commit the identical logical state — byte-identical digest — at
+   one, two, and four shards. *)
+let test_digest_across_shard_counts () =
+  let run shards =
+    let driver = Driver.create ~config:(config ~shards ()) (spec ~rows:200) in
+    let sched = Driver.run_concurrent driver ~txns:60 in
+    Client_sched.flush sched;
+    verified driver (Driver.db driver);
+    check_int "shard_count" shards (Db.shard_count (Driver.db driver));
+    Client_sched.logical_digest (Driver.db driver)
+  in
+  let d1 = run 1 and d2 = run 2 and d4 = run 4 in
+  check_string "1 vs 2 shards" d1 d2;
+  check_string "1 vs 4 shards" d1 d4
+
+(* Every key readable, inspection ops merge the stripes in key order. *)
+let test_striped_reads_and_scans () =
+  let rows = 40 in
+  let db = seeded ~rows () in
+  for k = 0 to rows - 1 do
+    check_string "read" (Printf.sprintf "v%d" k)
+      (Option.get (Db.read db ~table ~key:k))
+  done;
+  check_int "entry_count sums stripes" rows (Db.entry_count db ~table);
+  let dump = Db.dump_table db ~table in
+  check_int "dump has every row" rows (List.length dump);
+  check "dump sorted by key" true
+    (List.for_all2 (fun (k, _) i -> k = i) dump (List.init rows Fun.id));
+  (match Db.check_integrity db with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_int "scan range" 10 (List.length (Db.scan db ~table ~lo:5 ~hi:15))
+
+(* {2 Whole-image crash and recovery} *)
+
+(* Crash the whole sharded engine; every logical method must recover the
+   committed prefix, per shard in parallel, to the same digest. *)
+let test_sharded_crash_recovery () =
+  let driver = Driver.create ~config:(config ~shards:4 ()) (spec ~rows:300) in
+  let sched = Driver.run_concurrent driver ~txns:80 in
+  Client_sched.flush sched;
+  let reference = Client_sched.logical_digest (Driver.db driver) in
+  let image = Driver.crash driver in
+  List.iter
+    (fun m ->
+      let recovered, stats = Db.recover image m in
+      verified driver recovered;
+      check_string
+        (Printf.sprintf "%s digest" (Recovery.method_to_string m))
+        reference
+        (Client_sched.logical_digest recovered);
+      check
+        (Printf.sprintf "%s did work" (Recovery.method_to_string m))
+        true
+        (stats.Deut_core.Recovery_stats.records_scanned > 0))
+    [ Recovery.Log0; Recovery.Log1; Recovery.Log2 ]
+
+(* Physiological and SQL-analysis methods need one physical page space;
+   instant recovery is not yet sharded.  All must refuse, not corrupt. *)
+let test_barred_methods_sharded () =
+  let driver = Driver.create ~config:(config ~shards:2 ()) (spec ~rows:60) in
+  let sched = Driver.run_concurrent driver ~txns:10 in
+  Client_sched.flush sched;
+  let image = Driver.crash driver in
+  List.iter
+    (fun m ->
+      check
+        (Printf.sprintf "%s barred" (Recovery.method_to_string m))
+        true
+        (match Db.recover image m with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ Recovery.Sql1; Recovery.Sql2; Recovery.Aries_ckpt; Recovery.InstantLog2 ];
+  check "recover_instant barred" true
+    (match Db.recover_instant image with exception Invalid_argument _ -> true | _ -> false)
+
+(* ARIES fuzzy checkpoints capture one runtime DPT over one page space —
+   meaningless across shards, so assembly refuses the combination. *)
+let test_aries_fuzzy_barred () =
+  let c = { (config ~shards:2 ()) with Config.checkpoint_mode = Config.Aries_fuzzy } in
+  check "aries-fuzzy + shards refused" true
+    (match Db.create ~config:c () with exception Invalid_argument _ -> true | _ -> false)
+
+(* {2 Single-shard crash: siblings keep serving} *)
+
+let shard_of db key = key mod Db.shard_count db
+
+let test_shard_crash_siblings_serve () =
+  let rows = 48 in
+  let db = seeded ~rows () in
+  let before = Db.dump_table db ~table in
+  let down = 2 in
+  Db.crash_shard db ~shard:down;
+  check "shard reported down" false (Db.shard_up db ~shard:down);
+  check "siblings reported up" true
+    (Db.shard_up db ~shard:0 && Db.shard_up db ~shard:1 && Db.shard_up db ~shard:3);
+  (* A write routed to the down stripe: typed error, not an exception. *)
+  let txn = Db.begin_txn db in
+  let key_down = down and key_up = down + 1 in
+  (match Db.update db txn ~table ~key:key_down ~value:"x" with
+  | Error (Db.Shard_down s) -> check_int "error names the shard" down s
+  | Ok () -> Alcotest.fail "write to down shard succeeded"
+  | Error e -> Alcotest.failf "unexpected error: %s" (Db.error_to_string e));
+  Db.abort db txn;
+  (* A sibling write commits while the shard is down. *)
+  let txn = Db.begin_txn db in
+  check_int "sibling key routes elsewhere" (shard_of db key_up) (key_up mod 4);
+  (match Db.update db txn ~table ~key:key_up ~value:"sibling" with
+  | Ok () -> Db.commit db txn
+  | Error e -> Alcotest.failf "sibling write failed: %s" (Db.error_to_string e));
+  Db.flush_commits db;
+  (* Reads on the down stripe raise; sibling reads serve. *)
+  check "down-stripe read raises" true
+    (match Db.read db ~table ~key:key_down with
+    | exception Dc_access.Unavailable s -> s = down
+    | _ -> false);
+  check_string "sibling read serves" "sibling" (Option.get (Db.read db ~table ~key:key_up));
+  (* Checkpoint needs every shard's RSSP flush. *)
+  check "checkpoint refused while down" true
+    (match Db.checkpoint db with exception Invalid_argument _ -> true | _ -> false);
+  (* Recover the one shard on the live engine; full state returns,
+     including the sibling commit made while it was down. *)
+  Db.recover_shard db ~shard:down;
+  check "shard back up" true (Db.shard_up db ~shard:down);
+  let expected =
+    List.map (fun (k, v) -> if k = key_up then (k, "sibling") else (k, v)) before
+  in
+  check "state intact after per-shard recovery" true (Db.dump_table db ~table = expected);
+  (match Db.check_integrity db with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* And the db keeps working: checkpoint + a fresh commit. *)
+  Db.checkpoint db;
+  Db.put db ~table ~key:1000 ~value:"after";
+  check_string "post-recovery write" "after" (Option.get (Db.read db ~table ~key:1000))
+
+(* The crashed shard's unforced DC-log tail and cache dirt vanish, but the
+   TC log survives — so commits whose Δ records never reached the shard's
+   stable log still recover, replayed from the TC log stripe. *)
+let test_shard_crash_loses_nothing_committed () =
+  let db = seeded ~rows:32 () in
+  (* More committed writes after the flush: their DC-side state is cache
+     dirt + volatile DC-log tail only. *)
+  for k = 100 to 131 do
+    Db.put db ~table ~key:k ~value:(Printf.sprintf "tail%d" k)
+  done;
+  let before = Db.dump_table db ~table in
+  let down = 1 in
+  Db.crash_shard db ~shard:down;
+  Db.recover_shard db ~shard:down;
+  check "committed tail recovered from TC log" true (Db.dump_table db ~table = before)
+
+let test_shard_guards () =
+  let single = seeded ~shards:1 ~rows:8 () in
+  check "crash_shard refused on single-shard engine" true
+    (match Db.crash_shard single ~shard:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let db = seeded ~rows:16 () in
+  let txn = Db.begin_txn db in
+  (match Db.insert db txn ~table ~key:999 ~value:"x" with Ok () -> () | Error _ -> ());
+  check "crash_shard refused with active txn" true
+    (match Db.crash_shard db ~shard:1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Db.abort db txn;
+  Db.crash_shard db ~shard:1;
+  check "double crash refused" true
+    (match Db.crash_shard db ~shard:1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "recover_shard refused on up shard" true
+    (match Db.recover_shard db ~shard:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Db.recover_shard db ~shard:1
+
+(* {2 Cross-shard commit atomicity} *)
+
+(* Each transaction writes one key on every shard; the single TC log
+   sequences all commits, so after a crash each transaction is all-or-
+   nothing across shards — whatever the group-commit tail swallowed. *)
+let test_cross_shard_atomicity () =
+  let shards = 4 in
+  let c = { (config ~shards ()) with Config.group_commit = 4 } in
+  let db = Db.create ~config:c () in
+  Db.create_table db ~table;
+  let n_txns = 25 in
+  for t = 0 to n_txns - 1 do
+    let txn = Db.begin_txn db in
+    for s = 0 to shards - 1 do
+      match Db.insert db txn ~table ~key:((t * shards) + s) ~value:(Printf.sprintf "t%d" t) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "insert failed: %s" (Db.error_to_string e)
+    done;
+    Db.commit db txn
+  done;
+  (* No flush: the last group-commit batch is volatile and dies here. *)
+  let image = Db.crash db in
+  List.iter
+    (fun m ->
+      let recovered, _ = Db.recover image m in
+      let present = Hashtbl.create 32 in
+      List.iter
+        (fun (k, v) -> Hashtbl.replace present (k / shards) v)
+        (Db.dump_table recovered ~table);
+      for t = 0 to n_txns - 1 do
+        let keys =
+          List.filter_map
+            (fun s -> Db.read recovered ~table ~key:((t * shards) + s))
+            (List.init shards Fun.id)
+        in
+        let n = List.length keys in
+        if n <> 0 && n <> shards then
+          Alcotest.failf "%s: txn %d committed on %d of %d shards (dump: %s)"
+            (Recovery.method_to_string m) t n shards
+            (String.concat ","
+               (List.map (fun (k, v) -> Printf.sprintf "%d=%s" k v)
+                  (Db.dump_table recovered ~table)))
+      done)
+    [ Recovery.Log0; Recovery.Log2 ]
+
+(* {2 The networked transport} *)
+
+(* Latency, jitter, loss and reordering all draw from seeded streams on
+   the virtual clock: two identical runs must agree byte for byte, and
+   the link counters must show the traffic (and the retransmits). *)
+let test_net_determinism () =
+  let lossy =
+    {
+      (config ~shards:2 ~net:true ()) with
+      Config.net_latency_us = 80.0;
+      net_jitter_us = 40.0;
+      net_loss = 0.05;
+      net_reorder = 0.1;
+      net_timeout_us = 500.0;
+    }
+  in
+  let run () =
+    let driver = Driver.create ~config:lossy (spec ~rows:120) in
+    let sched = Driver.run_concurrent driver ~txns:30 in
+    Client_sched.flush sched;
+    verified driver (Driver.db driver);
+    let m = Engine.metrics (Db.engine (Driver.db driver)) in
+    (Client_sched.logical_digest (Driver.db driver),
+     Metrics.read_int m "net.messages",
+     Metrics.read_int m "net.retransmits")
+  in
+  let d1, msgs1, rts1 = run () in
+  let d2, msgs2, rts2 = run () in
+  check_string "same seed, same digest over the network" d1 d2;
+  check_int "same message count" msgs1 msgs2;
+  check_int "same retransmit count" rts1 rts2;
+  check "messages flowed" true (msgs1 > 0);
+  check "losses forced retransmits" true (rts1 > 0)
+
+(* The cost model is charged on the virtual clock: the same workload takes
+   longer with the network on than off, and the digest is unchanged. *)
+let test_net_is_transparent_but_costly () =
+  let run net =
+    let driver = Driver.create ~config:(config ~shards:2 ~net ()) (spec ~rows:120) in
+    let sched = Driver.run_concurrent driver ~txns:30 in
+    Client_sched.flush sched;
+    (Client_sched.logical_digest (Driver.db driver), Db.now_ms (Driver.db driver))
+  in
+  let d_off, t_off = run false in
+  let d_on, t_on = run true in
+  check_string "digest unchanged by the transport" d_off d_on;
+  check "network time was charged" true (t_on > t_off)
+
+(* {2 Env knobs} *)
+
+let with_env bindings f =
+  let saved = List.map (fun (k, _) -> (k, Sys.getenv_opt k)) bindings in
+  List.iter (fun (k, v) -> Unix.putenv k v) bindings;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (k, v) -> Unix.putenv k (Option.value v ~default:""))
+        saved)
+    f
+
+let test_env_knobs () =
+  with_env
+    [
+      ("DEUT_SHARDS", "4");
+      ("DEUT_NET", "1");
+      ("DEUT_NET_LATENCY_US", "123.5");
+      ("DEUT_NET_LOSS", "0.25");
+    ]
+    (fun () ->
+      let c = Config.of_env Config.default in
+      check_int "DEUT_SHARDS" 4 c.Config.shards;
+      check "DEUT_NET" true c.Config.net;
+      check "DEUT_NET_LATENCY_US" true (c.Config.net_latency_us = 123.5);
+      check "DEUT_NET_LOSS" true (c.Config.net_loss = 0.25))
+
+let suite =
+  [
+    Alcotest.test_case "digest equal across shard counts" `Quick
+      test_digest_across_shard_counts;
+    Alcotest.test_case "striped reads and merged scans" `Quick test_striped_reads_and_scans;
+    Alcotest.test_case "sharded crash recovery (Log0/1/2)" `Quick test_sharded_crash_recovery;
+    Alcotest.test_case "non-logical methods barred sharded" `Quick test_barred_methods_sharded;
+    Alcotest.test_case "aries-fuzzy barred sharded" `Quick test_aries_fuzzy_barred;
+    Alcotest.test_case "shard crash: siblings serve" `Quick test_shard_crash_siblings_serve;
+    Alcotest.test_case "shard crash loses nothing committed" `Quick
+      test_shard_crash_loses_nothing_committed;
+    Alcotest.test_case "shard guard rails" `Quick test_shard_guards;
+    Alcotest.test_case "cross-shard commit atomicity" `Quick test_cross_shard_atomicity;
+    Alcotest.test_case "network transport determinism" `Quick test_net_determinism;
+    Alcotest.test_case "network cost is charged, digest unchanged" `Quick
+      test_net_is_transparent_but_costly;
+    Alcotest.test_case "env knobs" `Quick test_env_knobs;
+  ]

@@ -165,8 +165,9 @@ let test_log_append_read () =
       let got, _next = Log.read_at log lsn in
       check "read_at returns the record" true (got = record))
     lsns sample_records;
-  (* LSNs are byte offsets: strictly increasing, first at 0. *)
-  check_int "first lsn" 0 (List.hd lsns);
+  (* LSNs are byte offsets: strictly increasing, first at the genesis
+     (offset 0 is reserved as the fresh-page pLSN sentinel). *)
+  check_int "first lsn" Log.genesis (List.hd lsns);
   ignore
     (List.fold_left
        (fun prev lsn ->
@@ -179,7 +180,7 @@ let test_log_force_semantics () =
   let l1 = Log.append log (Lr.Commit { txn = 1 }) in
   let l2 = Log.append log (Lr.Commit { txn = 2 }) in
   let _l3 = Log.append log (Lr.Commit { txn = 3 }) in
-  check_int "nothing stable yet" 0 (Log.stable_lsn log);
+  check_int "nothing stable yet" Log.genesis (Log.stable_lsn log);
   Log.force_upto log l1;
   check "force_upto covers the record" true (Log.stable_lsn log > l1);
   check "force_upto stops before the next" true (Log.stable_lsn log <= l2);

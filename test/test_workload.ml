@@ -41,7 +41,7 @@ let test_oracle_txn_semantics () =
     (Oracle.committed_entries o ~table:2)
 
 let small_config =
-  { Config.default with Config.page_size = 1024; pool_pages = 32; delta_period = 50 }
+  { Config.default with Config.page_size = 1024; pool_pages = 32; delta_period = 50; shards = 1 }
 
 let small_spec = { Workload.default with Workload.rows = 500; value_size = 12; seed = 2 }
 
