@@ -33,13 +33,11 @@ let read_file p =
 (* A dropped event means the profile would describe a truncated run; tell
    the operator exactly what capacity to ask for. *)
 let fail_on_overflow tr =
-  if Trace.dropped tr > 0 then begin
-    Printf.eprintf
-      "FAIL: trace ring overflowed (%d of %d events dropped).\n\
-       A trace_capacity of %d would have sufficed — rerun with DEUT_TRACE_CAP=%d.\n"
-      (Trace.dropped tr) (Trace.emitted tr) (Trace.emitted tr) (Trace.emitted tr);
-    exit 1
-  end
+  match Trace.overflow_advice tr with
+  | None -> ()
+  | Some advice ->
+      Printf.eprintf "FAIL: %s\n" advice;
+      exit 1
 
 let scale_arg =
   let doc = "Divide the paper's sizes (database, cache, checkpoint interval) by $(docv)." in
@@ -665,6 +663,41 @@ let metrics_cmd =
           $(b,trace)/$(b,analyze) embed as metadata events in the exported JSON.")
     Term.(const run $ scale_arg $ cache_arg $ method_pos_arg)
 
+let forensics_cmd =
+  let seed_arg =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"SEED" ~doc:"Fuzz seed whose crash image to rebuild.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Shard count the failing run used (the fuzz suite's DEUT_SHARDS).")
+  in
+  let run seed shards =
+    (* Same generator the fuzz suite uses: the image — flight snapshot
+       included — is a pure function of (seed, shards), so this prints
+       exactly the black box the failing run crashed with. *)
+    let image = Deut_workload.Fuzz.build_image ~shards seed in
+    match Deut_core.Crash_image.flight image with
+    | Some snap -> print_string (Deut_obs.Flight.render snap)
+    | None ->
+        Printf.eprintf
+          "FAIL: no flight recorder in the image — was it built with DEUT_FLIGHT=0?\n";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "forensics"
+       ~doc:
+         "Post-crash forensics for a crash-recovery fuzz seed: rebuild the seed's sampled \
+          crash image and dump the flight recorder that rode through the crash — the last \
+          N protocol sends/receives, log forces, checkpoints and recovery-phase \
+          transitions per component, plus causal chains grouped by message id.  \
+          Deterministic: same seed, byte-identical dump.")
+    Term.(const run $ seed_arg $ shards_arg)
+
 let () =
   let doc =
     "reproduction of 'Implementing Performance Competitive Logical Recovery' (VLDB 2011)"
@@ -688,4 +721,5 @@ let () =
             tune_cmd;
             instant_cmd;
             metrics_cmd;
+            forensics_cmd;
           ]))

@@ -107,6 +107,17 @@ type t = {
   retry_backoff_us : float;
       (** base delay for the seeded exponential backoff a client applies
           after a no-wait lock conflict aborts its transaction *)
+  flight : bool;
+      (** keep the always-on flight recorder ({!Deut_obs.Flight}): a small
+          bounded ring of recent protocol/durability history per component
+          that rides inside crash images for [repro_cli forensics].  On by
+          default — recording is O(1) into preallocated rings and never
+          advances the simulated clock, so it cannot perturb results; the
+          switch exists for the zero-observer-effect tests.  Defaults from
+          [DEUT_FLIGHT]. *)
+  flight_capacity : int;
+      (** flight-recorder ring size per component, in events
+          ([DEUT_FLIGHT_CAP]) *)
   tracing : bool;
       (** record structured events (virtual-clock timestamped) into the
           engine's trace ring; off by default — recording is skipped
@@ -197,6 +208,8 @@ let of_env config =
   {
     config with
     trace_capacity = pos_int "DEUT_TRACE_CAP" config.trace_capacity;
+    flight = flag "DEUT_FLIGHT" config.flight;
+    flight_capacity = pos_int "DEUT_FLIGHT_CAP" config.flight_capacity;
     redo_workers = pos_int "DEUT_REDO_WORKERS" config.redo_workers;
     clients = pos_int "DEUT_CLIENTS" config.clients;
     archive = flag "DEUT_ARCHIVE" config.archive;
@@ -241,6 +254,8 @@ let default =
     clients = default_clients;
     think_us = 300.0;
     retry_backoff_us = 150.0;
+    flight = true;
+    flight_capacity = 128;
     tracing = false;
     trace_capacity = 65536;
     archive = (match Sys.getenv_opt "DEUT_ARCHIVE" with

@@ -14,6 +14,7 @@
 module Page_store = Deut_storage.Page_store
 module Log_manager = Deut_wal.Log_manager
 module Lsn = Deut_wal.Lsn
+module Flight = Deut_obs.Flight
 
 type shard_image = {
   sh_store : Page_store.t;
@@ -27,12 +28,15 @@ type t = {
   dc_log : Log_manager.t option;  (* shard 0's own log in the split layout *)
   master : Lsn.t;
   extra_shards : shard_image array;  (* shards 1..n-1; empty when [shards = 1] *)
+  flight : Flight.snapshot option;
+      (* the flight recorder's last-moments snapshot: not recovery input,
+         but forensic evidence [repro_cli forensics] prints after the fact *)
 }
 
 (* Single-shard images (the common case, and what the crash-point tests
    hand-assemble): no siblings. *)
-let make ~config ~store ~log ?dc_log ~master () =
-  { config; store; log; dc_log; master; extra_shards = [||] }
+let make ~config ~store ~log ?dc_log ?flight ~master () =
+  { config; store; log; dc_log; master; extra_shards = [||]; flight }
 
 let capture (engine : Engine.t) =
   let extra_shards =
@@ -53,10 +57,12 @@ let capture (engine : Engine.t) =
       (if Engine.split engine then Some (Log_manager.crash engine.Engine.dc_log) else None);
     master = Tc.master engine.Engine.tc;
     extra_shards;
+    flight = Option.map Flight.snapshot (Engine.flight engine);
   }
 
 let config t = t.config
 let master t = t.master
+let flight t = t.flight
 let shard_count t = Array.length t.extra_shards + 1
 
 let instantiate ?config t =

@@ -210,6 +210,11 @@ let compact_log t =
 let crash t =
   live t;
   t.crashed <- true;
+  (* Mark the crash in the black box before the snapshot rides out in the
+     image, so a forensic dump ends on the crash record itself. *)
+  (match Engine.flight t.engine with
+  | Some f -> Deut_obs.Flight.record f ~comp:Deut_obs.Flight.tc Deut_obs.Flight.Crash "crash" ()
+  | None -> ());
   Crash_image.capture t.engine
 
 let recover ?config image method_ =

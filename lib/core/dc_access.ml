@@ -60,6 +60,23 @@ type request =
     }
   | Redo_smo of { lsn : Lsn.t; smo : Lr.smo; dpt_test : bool; stats : Recovery_stats.cells }
 
+(* Stable short name per request constructor, used by the causal-tracing
+   span names ("req:apply", "dc:apply"), the flight recorder and the
+   stall→message attribution in [Analysis] — keep in sync with all
+   three. *)
+let request_tag = function
+  | Prepare _ -> "prepare"
+  | Apply _ -> "apply"
+  | Read _ -> "read"
+  | Eosl _ -> "eosl"
+  | Rssp _ -> "rssp"
+  | Create_table _ -> "create_table"
+  | Has_table _ -> "has_table"
+  | Runtime_dpt -> "runtime_dpt"
+  | Redo_logical _ -> "redo_logical"
+  | Redo_physiological _ -> "redo_physiological"
+  | Redo_smo _ -> "redo_smo"
+
 type reply =
   | Prepared of Deut_btree.Btree.write_target
   | Value of string option
@@ -135,7 +152,8 @@ let force_upto tc lsn =
 
 (* {2 Transports} *)
 
-let networked link ep = { ep with call = (fun req -> Deut_net.Link.rpc link ep.call req) }
+let networked ?flow_id link ep =
+  { ep with call = (fun req -> Deut_net.Link.rpc ?flow_id link ep.call req) }
 
 let networked_tc link tc =
   { tc_call = (fun req -> Deut_net.Link.rpc link tc.tc_call req) }

@@ -20,6 +20,7 @@ module Link = Deut_net.Link
 module Obs = Deut_obs.Obs
 module Trace = Deut_obs.Trace
 module Metrics = Deut_obs.Metrics
+module Flight = Deut_obs.Flight
 
 (* One data component: its own stable store, cache, DC log and devices.
    The mutable fields are what a per-shard crash destroys and a per-shard
@@ -60,6 +61,7 @@ let split t = not (t.dc_log == t.log)
 let obs t = t.obs
 let trace t = Obs.trace t.obs
 let metrics t = Obs.metrics t.obs
+let flight t = Obs.flight t.obs
 let shard_count t = Array.length t.shards
 let shard t i = t.shards.(i)
 let shard_up t i = t.shards.(i).s_up
@@ -174,19 +176,17 @@ let local_endpoint sh =
         Dc.handle sh.s_dc req);
   }
 
-let make_endpoint sh =
-  let ep = local_endpoint sh in
-  match sh.s_link with Some link -> Dc_access.networked link ep | None -> ep
-
 (* Assemble one shard's stack: devices, cache, DC.  [store]/[dc_log] come
    from the caller (fresh or a crash image); [tc] is this shard's view of
    the TC (networked when the link is). *)
-let assemble_shard ?trace ~config ~clock ~m ~tc ~i ~store ~dc_log ~data_disk ~dc_log_disk
-    ~link () =
+let assemble_shard ?trace ?flight ~config ~clock ~m ~tc ~i ~store ~dc_log ~data_disk
+    ~dc_log_disk ~link () =
   (match dc_log_disk with
   | Some disk ->
       Log_manager.attach_read_disk dc_log disk;
-      Log_manager.instrument dc_log ?trace ()
+      Log_manager.instrument dc_log ?trace
+        ?flight:(Option.map (fun f -> (f, i)) flight)
+        ()
   | None -> ());
   let pool =
     Pool.create ~capacity:(shard_pool_pages config) ~block_pages:config.Config.block_pages
@@ -208,16 +208,33 @@ let assemble ?dc_log ?extra_shards config ~store ~log =
       Some (Trace.create ~now:(fun () -> Clock.now clock) ~capacity:config.Config.trace_capacity ())
     else None
   in
-  let obs = Obs.create ?trace () in
+  let flight =
+    if config.Config.flight then
+      Some
+        (Flight.create
+           ~now:(fun () -> Clock.now clock)
+           ~components:n ~capacity:config.Config.flight_capacity ())
+    else None
+  in
+  let obs = Obs.create ?trace ?flight () in
   let m = Obs.metrics obs in
+  (* Shard-local device histograms carry their shard prefix whenever the
+     engine is sharded — including shard 0, so "shard0.disk.data.io_us"
+     lines up with its siblings instead of hiding under the historical
+     unprefixed name.  Single-shard keeps the unprefixed names (and the
+     committed baselines). *)
+  let shard0_hist base = if n = 1 then base else "shard0." ^ base in
   let data_disk = Disk.create ~params:config.Config.data_disk clock in
   let log_disk = Disk.create ~params:config.Config.log_disk clock in
-  Disk.instrument data_disk ?trace ~io_hist:(Metrics.histogram m "disk.data.io_us")
+  Disk.instrument data_disk ?trace
+    ~io_hist:(Metrics.histogram m (shard0_hist "disk.data.io_us"))
     ~track:Trace.track_data_disk ();
   Disk.instrument log_disk ?trace ~io_hist:(Metrics.histogram m "disk.log.io_us")
     ~track:Trace.track_log_disk ();
   Log_manager.attach_read_disk log log_disk;
-  Log_manager.instrument log ?trace ();
+  Log_manager.instrument log ?trace
+    ?flight:(Option.map (fun f -> (f, Flight.tc)) flight)
+    ();
   (* Shard 0's DC log keeps the historical single-shard wiring (shared log
      when integrated, own log and device when split). *)
   let dc_log0, dc_log_disk0 =
@@ -230,7 +247,8 @@ let assemble ?dc_log ?extra_shards config ~store ~log =
           | None -> Log_manager.create ~page_size:config.Config.page_size
         in
         let disk = Disk.create ~params:config.Config.log_disk clock in
-        Disk.instrument disk ?trace ~io_hist:(Metrics.histogram m "disk.dc_log.io_us")
+        Disk.instrument disk ?trace
+          ~io_hist:(Metrics.histogram m (shard0_hist "disk.dc_log.io_us"))
           ~track:Trace.track_dc_log_disk ();
         (own, Some disk)
   in
@@ -262,6 +280,9 @@ let assemble ?dc_log ?extra_shards config ~store ~log =
     {
       Dc_access.tc_call =
         (fun (Dc_access.Force_upto lsn) ->
+          (match flight with
+          | Some f -> Flight.record f ~comp:Flight.tc Flight.Handle "force_upto" ~lsn ()
+          | None -> ());
           Log_manager.force_upto log lsn;
           Dc_access.Forced (Log_manager.stable_lsn log));
     }
@@ -283,7 +304,7 @@ let assemble ?dc_log ?extra_shards config ~store ~log =
   in
   let shard_of i =
     if i = 0 then
-      assemble_shard ?trace ~config ~clock ~m ~tc:tc_ep ~i:0 ~store ~dc_log:dc_log0
+      assemble_shard ?trace ?flight ~config ~clock ~m ~tc:tc_ep ~i:0 ~store ~dc_log:dc_log0
         ~data_disk ~dc_log_disk:dc_log_disk0 ~link:(link_for 0) ()
     else begin
       (* Sibling shards: own data device and DC-log device on distinct
@@ -303,13 +324,97 @@ let assemble ?dc_log ?extra_shards config ~store ~log =
       Disk.instrument ld ?trace
         ~io_hist:(Metrics.histogram m (Printf.sprintf "shard%d.disk.dc_log.io_us" i))
         ~track:(Trace.track_shard i) ();
-      assemble_shard ?trace ~config ~clock ~m ~tc:tc_ep ~i ~store:s_store ~dc_log:s_dc_log
-        ~data_disk:d ~dc_log_disk:(Some ld) ~link:(link_for i) ()
+      assemble_shard ?trace ?flight ~config ~clock ~m ~tc:tc_ep ~i ~store:s_store
+        ~dc_log:s_dc_log ~data_disk:d ~dc_log_disk:(Some ld) ~link:(link_for i) ()
     end
   in
   let shards = Array.init n shard_of in
-  let router = Dc_access.make_router (Array.map make_endpoint shards) in
-  let tc = Tc.create ?trace ~config ~log () in
+  (* Causal tracing over the protocol.  Every TC→DC exchange gets a fresh
+     message id; [current_mid] carries it down the synchronous call chain
+     so the link legs and the DC-side handler stamp the same id.  The
+     trace view is emitted only for assemblies where the protocol has a
+     cost or a remote side (net on, or more than one shard) — a plain
+     single-shard in-process engine keeps its historical event stream.
+     Flight records are unconditional: the recorder is the always-on black
+     box.
+
+     The flow chain per id, in both ring and timestamp order:
+     [s] on the TC lane as the request leaves, a [t] per network leg and
+     one inside the DC handler span, and [f] back on the TC lane bound to
+     the enclosing [req:*] span — which is exactly the synchronous wait
+     the TC spent on this message, so [Analysis] charges cross-shard
+     stalls (and retransmits, via the ["mid"] args) to it.  A request that
+     dies on the way (e.g. [Unavailable]) leaves its flow unterminated:
+     the arrow just ends, which is the honest picture. *)
+  let next_mid = ref 0 in
+  let current_mid = ref (-1) in
+  let verbose = config.Config.net || n > 1 in
+  let instrumented_endpoint sh =
+    let local = local_endpoint sh in
+    let serve req =
+      let mid = !current_mid in
+      let tag = Dc_access.request_tag req in
+      (match flight with
+      | Some f -> Flight.record f ~comp:sh.s_id Flight.Handle tag ~mid ()
+      | None -> ());
+      match trace with
+      | Some tr when verbose ->
+          let ts0 = Clock.now clock in
+          let reply = local.Dc_access.call req in
+          let ts1 = Clock.now clock in
+          Trace.flow_step tr ~name:("dc:" ^ tag) ~cat:"rpc"
+            ~track:(Trace.track_shard sh.s_id)
+            ~ts:((ts0 +. ts1) /. 2.0)
+            ~id:mid ();
+          Trace.span tr ~name:("dc:" ^ tag) ~cat:"rpc" ~track:(Trace.track_shard sh.s_id)
+            ~ts:ts0 ~dur:(ts1 -. ts0) ~args:[ ("mid", mid) ] ();
+          reply
+      | _ -> local.Dc_access.call req
+    in
+    let inner = { local with Dc_access.call = serve } in
+    let routed =
+      match sh.s_link with
+      | Some link -> Dc_access.networked ~flow_id:(fun () -> !current_mid) link inner
+      | None -> inner
+    in
+    let call req =
+      let tag = Dc_access.request_tag req in
+      let mid = !next_mid in
+      incr next_mid;
+      let saved = !current_mid in
+      current_mid := mid;
+      (match flight with
+      | Some f -> Flight.record f ~comp:Flight.tc Flight.Send tag ~mid ()
+      | None -> ());
+      let reply =
+        match trace with
+        | Some tr when verbose ->
+            let ts0 = Clock.now clock in
+            Trace.flow_start tr ~name:"rpc" ~cat:"rpc" ~track:Trace.track_recovery ~ts:ts0
+              ~id:mid ();
+            let reply =
+              Fun.protect ~finally:(fun () -> current_mid := saved)
+                (fun () -> routed.Dc_access.call req)
+            in
+            let ts1 = Clock.now clock in
+            Trace.span tr ~name:("req:" ^ tag) ~cat:"rpc" ~track:Trace.track_recovery ~ts:ts0
+              ~dur:(ts1 -. ts0) ~args:[ ("mid", mid) ] ();
+            Trace.flow_end tr ~name:("req:" ^ tag) ~cat:"rpc" ~track:Trace.track_recovery
+              ~ts:ts1 ~id:mid ();
+            reply
+        | _ ->
+            Fun.protect ~finally:(fun () -> current_mid := saved)
+              (fun () -> routed.Dc_access.call req)
+      in
+      (match flight with
+      | Some f -> Flight.record f ~comp:Flight.tc Flight.Recv tag ~mid ()
+      | None -> ());
+      reply
+    in
+    { Dc_access.shard = sh.s_id; call }
+  in
+  let router = Dc_access.make_router (Array.map instrumented_endpoint shards) in
+  let tc = Tc.create ?trace ?flight ~config ~log () in
   let sh0 = shards.(0) in
   let t =
     {
@@ -355,7 +460,9 @@ let rebuild_shard t sh ~dc_log =
   (match sh.s_dc_log_disk with
   | Some disk ->
       Log_manager.attach_read_disk dc_log disk;
-      Log_manager.instrument dc_log ?trace:tr ()
+      Log_manager.instrument dc_log ?trace:tr
+        ?flight:(Option.map (fun f -> (f, sh.s_id)) (flight t))
+        ()
   | None -> ());
   let pool =
     Pool.create ~capacity:(shard_pool_pages t.config) ~block_pages:t.config.Config.block_pages
@@ -383,6 +490,9 @@ let crash_shard t i =
   let sh = t.shards.(i) in
   if not sh.s_up then invalid_arg (Printf.sprintf "Engine.crash_shard: shard %d already down" i);
   sh.s_up <- false;
+  (match flight t with
+  | Some f -> Flight.record f ~comp:i Flight.Crash "shard_crash" ()
+  | None -> ());
   (* The cache (with its dirty pages) vanishes; the DC log truncates to its
      stable prefix; the stable store is the disk and stays. *)
   rebuild_shard t sh ~dc_log:(Log_manager.crash sh.s_dc_log);

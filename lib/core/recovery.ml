@@ -6,6 +6,7 @@ module Disk = Deut_sim.Disk
 module Pool = Deut_buffer.Buffer_pool
 module Metrics = Deut_obs.Metrics
 module Trace = Deut_obs.Trace
+module Flight = Deut_obs.Flight
 
 type method_ = Log0 | Log1 | Log2 | Sql1 | Sql2 | Aries_ckpt | InstantLog2
 
@@ -357,6 +358,11 @@ let recover_offline_sharded ?undo_fault_after_clrs engine image method_ =
   let trace = Engine.trace engine in
   let stats = Recovery_stats.create ~metrics:(Engine.metrics engine) () in
   let phase name ~ts0 =
+    (* Phase completions also land in the flight recorder, so a post-crash
+       dump shows how far a recovery got before dying. *)
+    (match Engine.flight engine with
+    | Some f -> Flight.record f ~comp:Flight.tc Flight.Phase name ()
+    | None -> ());
     match trace with
     | Some tr ->
         Trace.span tr ~name ~cat:"phase" ~track:Trace.track_recovery ~ts:ts0
@@ -488,6 +494,11 @@ let recover_offline ?config ?undo_fault_after_clrs image method_ =
   let trace = Engine.trace engine in
   let stats = Recovery_stats.create ~metrics:(Engine.metrics engine) () in
   let phase name ~ts0 =
+    (* Phase completions also land in the flight recorder, so a post-crash
+       dump shows how far a recovery got before dying. *)
+    (match Engine.flight engine with
+    | Some f -> Flight.record f ~comp:Flight.tc Flight.Phase name ()
+    | None -> ());
     match trace with
     | Some tr ->
         Trace.span tr ~name ~cat:"phase" ~track:Trace.track_recovery ~ts:ts0
@@ -759,6 +770,11 @@ let recover_instant ?config ?undo_fault_after_clrs image =
   let trace = Engine.trace engine in
   let stats = Recovery_stats.create ~metrics:(Engine.metrics engine) () in
   let phase name ~ts0 =
+    (* Phase completions also land in the flight recorder, so a post-crash
+       dump shows how far a recovery got before dying. *)
+    (match Engine.flight engine with
+    | Some f -> Flight.record f ~comp:Flight.tc Flight.Phase name ()
+    | None -> ());
     match trace with
     | Some tr ->
         Trace.span tr ~name ~cat:"phase" ~track:Trace.track_recovery ~ts:ts0

@@ -6,6 +6,7 @@ type t = {
   config : Config.t;
   log : Log_manager.t;
   trace : Deut_obs.Trace.t option;
+  flight : Deut_obs.Flight.t option;
   mutable next_txn : int;
   active : (int, Lsn.t) Hashtbl.t;  (* txn -> lastLSN of its chain *)
   starts : (int, Lsn.t) Hashtbl.t;  (* txn -> first LSN ([nil] = unknown) *)
@@ -16,11 +17,12 @@ type t = {
   mutable aborts : int;  (* explicit aborts (recovery undo not counted) *)
 }
 
-let create ?trace ~config ~log () =
+let create ?trace ?flight ~config ~log () =
   {
     config;
     log;
     trace;
+    flight;
     next_txn = 1;
     active = Hashtbl.create 32;
     starts = Hashtbl.create 32;
@@ -231,9 +233,15 @@ let abort t router ~txn =
   t.aborts <- t.aborts + 1;
   ignore (undo_txn t router ~txn ~last:(last_lsn_of t txn))
 
+let flight_ckpt t what ~lsn =
+  match t.flight with
+  | Some f -> Deut_obs.Flight.record f ~comp:Deut_obs.Flight.tc Deut_obs.Flight.Ckpt what ~lsn ()
+  | None -> ()
+
 let checkpoint t router =
   let ts0 = match t.trace with Some tr -> Deut_obs.Trace.now tr | None -> 0.0 in
   let bckpt = Log_manager.append t.log Lr.Begin_ckpt in
+  flight_ckpt t "begin_ckpt" ~lsn:bckpt;
   force_now t router;
   (match t.config.Config.checkpoint_mode with
   | Config.Penultimate ->
@@ -250,6 +258,7 @@ let checkpoint t router =
   ignore (Log_manager.append t.log (Lr.End_ckpt { bckpt; active = active_txns t }));
   force_now t router;
   t.master <- bckpt;
+  flight_ckpt t "end_ckpt" ~lsn:bckpt;
   match t.trace with
   | Some tr ->
       Deut_obs.Trace.span tr ~name:"ckpt" ~cat:"recovery" ~track:Deut_obs.Trace.track_recovery

@@ -16,9 +16,16 @@
 
 type t
 
-val create : ?trace:Deut_obs.Trace.t -> config:Config.t -> log:Deut_wal.Log_manager.t -> unit -> t
+val create :
+  ?trace:Deut_obs.Trace.t ->
+  ?flight:Deut_obs.Flight.t ->
+  config:Config.t ->
+  log:Deut_wal.Log_manager.t ->
+  unit ->
+  t
 (* [trace] records a [ckpt] span (begin-ckpt to end-ckpt force) on the
-   recovery track for every checkpoint. *)
+   recovery track for every checkpoint; [flight] records the begin/end
+   checkpoint milestones in the TC's flight-recorder ring. *)
 val log : t -> Deut_wal.Log_manager.t
 
 val master : t -> Deut_wal.Lsn.t

@@ -44,7 +44,14 @@ val create :
 val counters : t -> counters
 val params : t -> params
 
-val rpc : t -> ('req -> 'rep) -> 'req -> 'rep
+val rpc : ?flow_id:(unit -> int) -> t -> ('req -> 'rep) -> 'req -> 'rep
 (** [rpc t serve req] delivers [req] over the link, runs [serve] at the
     far end, and delivers the reply back, advancing the clock for both
-    legs (losses cost a timeout each before the retransmit). *)
+    legs (losses cost a timeout each before the retransmit).
+
+    [flow_id], queried once per call, supplies the causal message id of
+    the protocol exchange (< 0 = none).  With an id and a trace, each
+    leg's [net_send]/[net_reply] span and every [net_loss] instant carry
+    a ["mid"] arg — so a retransmit is attributable to the request that
+    blocked on it — and each leg emits a Chrome flow step with that id,
+    threading the causal arrow TC → wire → shard → wire → TC. *)

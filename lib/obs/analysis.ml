@@ -12,6 +12,14 @@ type phase = {
 
 type source = { src_device : string; src_kind : string; src_count : int; src_stall_us : float }
 
+type net_source = {
+  ns_request : string;
+  ns_calls : int;
+  ns_wait_us : float;
+  ns_wire_us : float;
+  ns_retransmits : int;
+}
+
 type t = {
   meta : (string * string) list;
   total_us : float;
@@ -29,6 +37,10 @@ type t = {
   stall_total_us : float;
   stall_attributed_us : float;
   sources : source list;
+  net_msgs : int;
+  net_wire_us : float;
+  net_retransmits : int;
+  net_sources : net_source list;
   redo_ops : int;
 }
 
@@ -160,10 +172,87 @@ let attribute_stalls ~stalls ~ios =
   in
   (!attributed, sources)
 
+(* ---------- stall → message attribution ---------- *)
+
+(* The causal-tracing layer stamps every protocol exchange with a message
+   id: the TC-side [req:<tag>] span is the synchronous wait the exchange
+   cost, the [net_send]/[net_reply] spans are its wire legs, and each
+   [net_loss] instant is a retransmit — all carrying the same ["mid"].
+   Grouping the three by the request tag the mid resolves to turns the
+   device-style stall budget into a per-message one: which protocol
+   operations the TC waited on, for how long, how much of that was wire,
+   and which retransmits made it worse. *)
+let attribute_net ~rpcs ~nets ~losses =
+  let mid_of ev = List.assoc_opt "mid" ev.Trace.args in
+  let tag_of_rpc ev =
+    let name = ev.Trace.name in
+    let plen = String.length "req:" in
+    if String.length name > plen && String.sub name 0 plen = "req:" then
+      Some (String.sub name plen (String.length name - plen))
+    else None
+  in
+  let mid_to_req = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      match (tag_of_rpc ev, mid_of ev) with
+      | Some tag, Some mid -> Hashtbl.replace mid_to_req mid tag
+      | _ -> ())
+    rpcs;
+  let resolve ev =
+    match mid_of ev with
+    | Some mid -> (
+        match Hashtbl.find_opt mid_to_req mid with Some tag -> tag | None -> "(unknown)")
+    | None -> "(unknown)"
+  in
+  let buckets : (string, int ref * float ref * float ref * int ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let bucket tag =
+    match Hashtbl.find_opt buckets tag with
+    | Some cell -> cell
+    | None ->
+        let cell = (ref 0, ref 0.0, ref 0.0, ref 0) in
+        Hashtbl.add buckets tag cell;
+        cell
+  in
+  List.iter
+    (fun ev ->
+      match tag_of_rpc ev with
+      | Some tag ->
+          let calls, wait, _, _ = bucket tag in
+          incr calls;
+          wait := !wait +. ev.Trace.dur
+      | None -> ())
+    rpcs;
+  List.iter
+    (fun ev ->
+      let _, _, wire, _ = bucket (resolve ev) in
+      wire := !wire +. ev.Trace.dur)
+    nets;
+  List.iter
+    (fun ev ->
+      let _, _, _, retx = bucket (resolve ev) in
+      incr retx)
+    losses;
+  Hashtbl.fold
+    (fun tag (calls, wait, wire, retx) acc ->
+      {
+        ns_request = tag;
+        ns_calls = !calls;
+        ns_wait_us = !wait;
+        ns_wire_us = !wire;
+        ns_retransmits = !retx;
+      }
+      :: acc)
+    buckets []
+  |> List.sort (fun a b ->
+         compare (-.a.ns_wait_us, a.ns_request) (-.b.ns_wait_us, b.ns_request))
+
 (* ---------- profile construction ---------- *)
 
 let of_events ?(meta = []) events =
   let stalls = ref [] and ios = ref [] and phases_raw = ref [] in
+  let rpcs = ref [] and nets = ref [] and losses = ref [] in
   let fetch_total = ref 0
   and fetch_index = ref 0
   and fetch_prefetched = ref 0
@@ -178,6 +267,9 @@ let of_events ?(meta = []) events =
       | Trace.Span, "stall" -> stalls := ev :: !stalls
       | Trace.Span, _ when ev.Trace.cat = "io" -> ios := ev :: !ios
       | Trace.Span, _ when ev.Trace.cat = "phase" -> phases_raw := ev :: !phases_raw
+      | Trace.Span, _ when ev.Trace.cat = "rpc" -> rpcs := ev :: !rpcs
+      | Trace.Span, _ when ev.Trace.cat = "net" -> nets := ev :: !nets
+      | Trace.Instant, "net_loss" -> losses := ev :: !losses
       | Trace.Span, "page_fetch" ->
           incr fetch_total;
           if arg ev "index" = 1 then incr fetch_index;
@@ -192,6 +284,7 @@ let of_events ?(meta = []) events =
     events;
   let stalls = List.rev !stalls and ios = List.rev !ios in
   let phases_raw = List.rev !phases_raw in
+  let rpcs = List.rev !rpcs and nets = List.rev !nets and losses = List.rev !losses in
   (* Older traces predate per-page prefetch instants; the batch counts
      carry the same total. *)
   let pf_issued = if !pf_pages > 0 then !pf_pages else !pf_issue_count in
@@ -245,6 +338,10 @@ let of_events ?(meta = []) events =
     stall_total_us;
     stall_attributed_us;
     sources;
+    net_msgs = List.length nets;
+    net_wire_us = List.fold_left (fun acc ev -> acc +. ev.Trace.dur) 0.0 nets;
+    net_retransmits = List.length losses;
+    net_sources = attribute_net ~rpcs ~nets ~losses;
     redo_ops = !redo_ops;
   }
 
@@ -295,6 +392,16 @@ let render t =
     List.iter
       (fun s -> line "  %-12s %-10s %8d %12s" s.src_device s.src_kind s.src_count (ms s.src_stall_us))
       t.sources
+  end;
+  if t.net_msgs > 0 || t.net_retransmits > 0 then begin
+    line "net: %d messages, %s ms on the wire, %d retransmits" t.net_msgs (ms t.net_wire_us)
+      t.net_retransmits;
+    line "  %-20s %8s %12s %12s %8s" "request" "calls" "wait ms" "wire ms" "retx";
+    List.iter
+      (fun s ->
+        line "  %-20s %8d %12s %12s %8d" s.ns_request s.ns_calls (ms s.ns_wait_us)
+          (ms s.ns_wire_us) s.ns_retransmits)
+      t.net_sources
   end;
   line "redo ops: %d" t.redo_ops;
   Buffer.contents buf
@@ -357,7 +464,19 @@ let to_json t =
         (Printf.sprintf "{\"device\":%s,\"kind\":%s,\"count\":%d,\"stall_us\":%s}"
            (js_str s.src_device) (js_str s.src_kind) s.src_count (js_f s.src_stall_us)))
     t.sources;
-  add (Printf.sprintf "],\"redo_ops\":%d}" t.redo_ops);
+  add
+    (Printf.sprintf "],\"net\":{\"msgs\":%d,\"wire_us\":%s,\"retransmits\":%d,\"sources\":["
+       t.net_msgs (js_f t.net_wire_us) t.net_retransmits);
+  List.iteri
+    (fun i s ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf
+           "{\"request\":%s,\"calls\":%d,\"wait_us\":%s,\"wire_us\":%s,\"retransmits\":%d}"
+           (js_str s.ns_request) s.ns_calls (js_f s.ns_wait_us) (js_f s.ns_wire_us)
+           s.ns_retransmits))
+    t.net_sources;
+  add (Printf.sprintf "]},\"redo_ops\":%d}" t.redo_ops);
   Buffer.contents buf
 
 (* Minimal JSON reader for our own output (plus hand-edited baselines).  No
@@ -569,6 +688,29 @@ let of_json text =
         in
         let fetches = member "fetches" j and prefetch = member "prefetch" j in
         let stalls = member "stalls" j in
+        (* Profiles written before the net section existed have no "net"
+           key; read it tolerantly so committed baselines keep parsing. *)
+        let net_msgs, net_wire_us, net_retransmits, net_sources =
+          match try Some (member "net" j) with Parse_error _ -> None with
+          | None -> (0, 0.0, 0, [])
+          | Some nj ->
+              let srcs =
+                match member "sources" nj with
+                | Jarr items ->
+                    List.map
+                      (fun s ->
+                        {
+                          ns_request = str s "request";
+                          ns_calls = int_ s "calls";
+                          ns_wait_us = num s "wait_us";
+                          ns_wire_us = num s "wire_us";
+                          ns_retransmits = int_ s "retransmits";
+                        })
+                      items
+                | _ -> raise (Parse_error "expected array for net sources")
+              in
+              (int_ nj "msgs", num nj "wire_us", int_ nj "retransmits", srcs)
+        in
         Ok
           {
             meta;
@@ -587,6 +729,10 @@ let of_json text =
             stall_total_us = num stalls "total_us";
             stall_attributed_us = num stalls "attributed_us";
             sources;
+            net_msgs;
+            net_wire_us;
+            net_retransmits;
+            net_sources;
             redo_ops = int_ j "redo_ops";
           }
       with Parse_error msg -> Error msg)
@@ -633,6 +779,20 @@ let csv_rows t =
             (Printf.sprintf "stall.source.%s.%s_us" s.src_device s.src_kind)
             (js_f s.src_stall_us))
         t.sources;
+      [
+        scalar "net.msgs" (string_of_int t.net_msgs);
+        scalar "net.wire_us" (js_f t.net_wire_us);
+        scalar "net.retransmits" (string_of_int t.net_retransmits);
+      ];
+      List.concat_map
+        (fun s ->
+          [
+            scalar (Printf.sprintf "net.source.%s.wait_us" s.ns_request) (js_f s.ns_wait_us);
+            scalar
+              (Printf.sprintf "net.source.%s.retransmits" s.ns_request)
+              (string_of_int s.ns_retransmits);
+          ])
+        t.net_sources;
       [ scalar "redo_ops" (string_of_int t.redo_ops) ];
     ]
 

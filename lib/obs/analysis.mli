@@ -37,6 +37,20 @@ type phase = {
     [src_device] ("data-disk", "log-disk", "dc-log-disk"). *)
 type source = { src_device : string; src_kind : string; src_count : int; src_stall_us : float }
 
+(** One stall→message attribution bucket: cross-shard stalls charged to the
+    protocol request they waited on.  Built from the TC-side ["rpc"] spans
+    (named [req:<tag>], carrying the message id) joined against the ["net"]
+    lane's per-message delivery spans and loss instants — so [ns_wire_us]
+    is time physically on the wire and [ns_retransmits] counts dropped
+    sends that forced the timeout/retry path for that request kind. *)
+type net_source = {
+  ns_request : string;  (** protocol request tag, e.g. ["redo_logical"] *)
+  ns_calls : int;  (** round trips issued for this request kind *)
+  ns_wait_us : float;  (** TC-side wall time spent inside these calls *)
+  ns_wire_us : float;  (** wire time of the deliveries carrying them *)
+  ns_retransmits : int;  (** net losses on this request's message ids *)
+}
+
 type t = {
   meta : (string * string) list;  (** caller-supplied identity, e.g. method/cache *)
   total_us : float;  (** analysis + redo + undo phase time (log_scan nests in redo) *)
@@ -54,6 +68,10 @@ type t = {
   stall_total_us : float;
   stall_attributed_us : float;  (** stall mass matched to a device span *)
   sources : source list;  (** attribution buckets, largest stall mass first *)
+  net_msgs : int;  (** one-way deliveries observed on the net lane *)
+  net_wire_us : float;  (** total wire time across those deliveries *)
+  net_retransmits : int;  (** net_loss instants (drops that forced a retry) *)
+  net_sources : net_source list;  (** stall→message buckets, largest wait first *)
   redo_ops : int;
 }
 

@@ -25,8 +25,16 @@ type t = {
 
 let create () = { by_name = Hashtbl.create 64; order = [] }
 
+(* Registration is loud: a second registration under the same name is a
+   naming bug (e.g. two shards both claiming "disk.data.io_us"), and
+   silently shadowing the first instrument would make one of them
+   disappear from every reader.  The get-or-create constructors below
+   never reach here for an existing name, so this fires only on genuine
+   collisions. *)
 let register t name entry =
-  Hashtbl.replace t.by_name name entry;
+  if Hashtbl.mem t.by_name name then
+    invalid_arg ("Metrics: duplicate registration of " ^ name);
+  Hashtbl.add t.by_name name entry;
   t.order <- name :: t.order
 
 let kind_mismatch name = invalid_arg ("Metrics: kind mismatch for " ^ name)
@@ -49,9 +57,12 @@ let dial t name =
       register t name (Dial d);
       d
 
+(* Unlike the cell kinds there is no handle to share, so a second gauge
+   under the same name can only mean two writers fighting over it —
+   keeping the old closure would silently ignore the new one. *)
 let gauge t name read =
   match Hashtbl.find_opt t.by_name name with
-  | Some (Gauge _) -> ()
+  | Some (Gauge _) -> invalid_arg ("Metrics: duplicate registration of " ^ name)
   | Some _ -> kind_mismatch name
   | None -> register t name (Gauge { g_name = name; g_read = read })
 

@@ -23,14 +23,20 @@ val create : unit -> t
 
 (** {1 Registration}
 
-    Registering a name twice returns the existing instrument of that kind
-    and raises [Invalid_argument] on a kind mismatch. *)
+    [counter]/[dial]/[histogram] are get-or-create: asking for an existing
+    name returns the existing instrument of that kind (so independent
+    components may share a cell on purpose) and raises [Invalid_argument]
+    on a kind mismatch.  [gauge] has no handle to share, so registering a
+    gauge name twice raises [Invalid_argument] — a duplicate means two
+    writers are fighting over one name, and shadowing either would
+    silently lose an instrument. *)
 
 val counter : t -> string -> counter
 val dial : t -> string -> dial
 
 val gauge : t -> string -> (unit -> float) -> unit
-(** Lazy read-only metric; [read] runs only when the registry is queried. *)
+(** Lazy read-only metric; [read] runs only when the registry is queried.
+    @raise Invalid_argument on a duplicate name. *)
 
 val histogram : t -> ?base:float -> ?lo:float -> ?buckets:int -> string -> histogram
 (** Log-scale buckets: upper bounds [lo *. base^i] for [i < buckets]

@@ -1,9 +1,11 @@
 (** Observability bundle carried by an engine: an optional event trace
-    (present only when [Config.tracing] is on) plus the always-on metrics
-    registry. *)
+    (present only when [Config.tracing] is on), the always-on metrics
+    registry, and the always-on flight recorder (absent only when
+    explicitly disabled for the observer-effect tests). *)
 
-type t = { trace : Trace.t option; metrics : Metrics.t }
+type t = { trace : Trace.t option; metrics : Metrics.t; flight : Flight.t option }
 
-let create ?trace () = { trace; metrics = Metrics.create () }
+let create ?trace ?flight () = { trace; metrics = Metrics.create (); flight }
 let trace t = t.trace
 let metrics t = t.metrics
+let flight t = t.flight

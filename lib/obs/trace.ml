@@ -1,6 +1,6 @@
 (* Ring-buffer event trace.  See trace.mli for the contract. *)
 
-type kind = Span | Instant
+type kind = Span | Instant | Flow_start | Flow_step | Flow_end
 
 type event = {
   name : string;
@@ -36,6 +36,19 @@ let track_shard s = shard_track_base + s
 let track_ondemand = 63
 let client_track_base = 64
 let track_client c = client_track_base + c
+
+(* Chrome "process" grouping: the engine's lanes live in pid 0, the
+   network in pid 1, and each data-component shard in its own pid, so
+   Perfetto groups lanes per component instead of one flat list. *)
+let pid_of_track tid =
+  if tid = track_net then 1
+  else if tid >= shard_track_base && tid < track_ondemand then 2 + (tid - shard_track_base)
+  else 0
+
+let pid_name = function
+  | 0 -> "engine"
+  | 1 -> "net"
+  | p -> "shard-" ^ string_of_int (p - 2)
 
 let track_name = function
   | 0 -> "recovery"
@@ -73,6 +86,19 @@ let span t ~name ~cat ?(track = 0) ~ts ~dur ?(args = []) () =
 
 let instant t ~name ~cat ?(track = 0) ?(args = []) () =
   push t { name; cat; track; ts = t.now (); dur = 0.0; kind = Instant; args }
+
+(* Flow events carry their id as the ["id"] arg by convention; the
+   exporter renders it as the top-level Chrome flow [id] field.  The
+   timestamp is explicit so a flow point can be placed inside the span it
+   binds to (spans are emitted after their duration is known). *)
+let flow t kind ~name ~cat ?(track = 0) ~ts ~id () =
+  push t { name; cat; track; ts; dur = 0.0; kind; args = [ ("id", id) ] }
+
+let flow_start t = flow t Flow_start
+let flow_step t = flow t Flow_step
+let flow_end t = flow t Flow_end
+
+let flow_id ev = match List.assoc_opt "id" ev.args with Some id -> id | None -> -1
 
 let stop t = t.stopped <- true
 let emitted t = t.total
@@ -115,13 +141,17 @@ let args_json args =
 
 let event_json ev =
   let common =
-    Printf.sprintf "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%s"
-      (json_escape ev.name) (json_escape ev.cat) ev.track (js_ts ev.ts)
+    Printf.sprintf "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%s"
+      (json_escape ev.name) (json_escape ev.cat) (pid_of_track ev.track) ev.track
+      (js_ts ev.ts)
   in
   let tail = match ev.args with [] -> "" | args -> Printf.sprintf ",\"args\":{%s}" (args_json args) in
   match ev.kind with
   | Span -> Printf.sprintf "{%s,\"ph\":\"X\",\"dur\":%s%s}" common (js_ts ev.dur) tail
   | Instant -> Printf.sprintf "{%s,\"ph\":\"i\",\"s\":\"t\"%s}" common tail
+  | Flow_start -> Printf.sprintf "{%s,\"ph\":\"s\",\"id\":%d}" common (flow_id ev)
+  | Flow_step -> Printf.sprintf "{%s,\"ph\":\"t\",\"id\":%d}" common (flow_id ev)
+  | Flow_end -> Printf.sprintf "{%s,\"ph\":\"f\",\"bp\":\"e\",\"id\":%d}" common (flow_id ev)
 
 let to_chrome_json ?metrics t =
   let buf = Buffer.create 4096 in
@@ -131,20 +161,30 @@ let to_chrome_json ?metrics t =
     if !first then first := false else Buffer.add_char buf ',';
     Buffer.add_string buf s
   in
-  (* Thread-name metadata so Perfetto labels the lanes: the seven fixed
-     lanes plus any per-worker lane actually present in the events. *)
+  (* Process- and thread-name metadata so Perfetto groups lanes per
+     component and labels them: the seven fixed lanes plus any extra lane
+     actually present in the events, each under its component's pid. *)
   let evs = events t in
   let extra =
     List.sort_uniq compare
       (List.filter_map (fun ev -> if ev.track > 6 then Some ev.track else None) evs)
   in
+  let lanes = List.init 7 Fun.id @ extra in
+  let pids = List.sort_uniq compare (List.map pid_of_track lanes) in
+  List.iter
+    (fun pid ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+           pid (pid_name pid)))
+    pids;
   List.iter
     (fun tid ->
       emit
         (Printf.sprintf
-           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
-           tid (track_name tid)))
-    (List.init 7 Fun.id @ extra);
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           (pid_of_track tid) tid (track_name tid)))
+    lanes;
   (* A metrics snapshot rides along as metadata events (ignored by trace
      viewers, read back by tools): one per registered name, in registration
      order so the bytes are stable. *)
@@ -169,6 +209,17 @@ let to_chrome_json ?metrics t =
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
+(* A dropped event means an export would describe a truncated run; tell
+   the operator exactly what capacity to ask for. *)
+let overflow_advice t =
+  if dropped t = 0 then None
+  else
+    Some
+      (Printf.sprintf
+         "trace ring overflowed (%d of %d events dropped).\n\
+          A trace_capacity of %d would have sufficed — rerun with DEUT_TRACE_CAP=%d."
+         (dropped t) (emitted t) (emitted t) (emitted t))
+
 let csv_header = [ "ts_us"; "dur_us"; "kind"; "track"; "cat"; "name"; "args" ]
 
 let csv_rows t =
@@ -177,7 +228,12 @@ let csv_rows t =
       [
         js_ts ev.ts;
         js_ts ev.dur;
-        (match ev.kind with Span -> "span" | Instant -> "instant");
+        (match ev.kind with
+        | Span -> "span"
+        | Instant -> "instant"
+        | Flow_start -> "flow-start"
+        | Flow_step -> "flow-step"
+        | Flow_end -> "flow-end");
         track_name ev.track;
         ev.cat;
         ev.name;

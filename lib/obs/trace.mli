@@ -12,7 +12,12 @@
     because timestamps come from the deterministic simulation, two
     identical-seed runs export byte-identical files. *)
 
-type kind = Span | Instant
+type kind =
+  | Span
+  | Instant
+  | Flow_start  (** Chrome flow [ph:"s"]: causal arrow leaves here *)
+  | Flow_step  (** Chrome flow [ph:"t"]: the arrow passes through *)
+  | Flow_end  (** Chrome flow [ph:"f"], bound to the enclosing slice *)
 
 type event = {
   name : string;  (** event type, e.g. "io_read", "stall", "redo_op" *)
@@ -70,6 +75,14 @@ val track_client : int -> int
 
 val track_name : int -> string
 
+val pid_of_track : int -> int
+(** The Chrome process a lane is exported under: 0 = the engine (every
+    single-machine lane), 1 = the network, [2 + s] = shard [s].  Perfetto
+    groups lanes by pid, so a sharded trace reads as one box per
+    component. *)
+
+val pid_name : int -> string
+
 (** {1 Recording} *)
 
 val create : now:(unit -> float) -> ?capacity:int -> unit -> t
@@ -85,6 +98,24 @@ val instant :
   t -> name:string -> cat:string -> ?track:int -> ?args:(string * int) list ->
   unit -> unit
 (** Timestamped with [now ()]. *)
+
+val flow_start :
+  t -> name:string -> cat:string -> ?track:int -> ts:float -> id:int -> unit -> unit
+(** Open a causal flow: Perfetto draws an arrow from the slice enclosing
+    [ts] on [track] to the next point of the same [id].  The id is carried
+    in [args] as ["id"] and exported as the top-level Chrome flow id; use
+    one id per caused chain (e.g. one per protocol message). *)
+
+val flow_step :
+  t -> name:string -> cat:string -> ?track:int -> ts:float -> id:int -> unit -> unit
+
+val flow_end :
+  t -> name:string -> cat:string -> ?track:int -> ts:float -> id:int -> unit -> unit
+(** Close the flow ([bp:"e"]: binds to the enclosing slice, not the next
+    one). *)
+
+val flow_id : event -> int
+(** The flow id a [Flow_*] event carries ([-1] for other kinds). *)
 
 val stop : t -> unit
 (** Ignore all further [span]/[instant] calls.  Used by [Recovery.recover]
@@ -106,6 +137,12 @@ val dropped : t -> int
 
 val count : t -> ?kind:kind -> ?name:string -> unit -> int
 (** Buffered events matching the given filters. *)
+
+val overflow_advice : t -> string option
+(** [None] when nothing was dropped; otherwise a message naming the
+    [trace_capacity] (and the [DEUT_TRACE_CAP] setting) that would have
+    held the whole run.  Shared by every exporter that refuses truncated
+    traces. *)
 
 (** {1 Export} *)
 

@@ -21,6 +21,9 @@ type t = {
   mutable forces : int;
   mutable read_disk : Deut_sim.Disk.t option;
   mutable trace : Deut_obs.Trace.t option;
+  mutable flight : (Deut_obs.Flight.t * int) option;
+      (* the engine's flight recorder and the component this log belongs
+         to, so forces land in that component's black box *)
   mutable on_append : (int -> unit) option;
   mutable archive : Archive.t option;
       (* sealed segments holding bytes below [base]; reads span the two
@@ -58,6 +61,7 @@ let create ~page_size =
     forces = 0;
     read_disk = None;
     trace = None;
+    flight = None;
     on_append = None;
     archive = None;
     on_archive = None;
@@ -70,9 +74,15 @@ let set_archive_hook t hook = t.on_archive <- hook
 let attach_archive t a = t.archive <- Some a
 let archive t = t.archive
 
-let instrument t ?trace () = t.trace <- trace
+let instrument t ?trace ?flight () =
+  t.trace <- trace;
+  t.flight <- flight
 
 let note_force t ~from =
+  (match t.flight with
+  | Some (f, comp) ->
+      Deut_obs.Flight.record f ~comp Deut_obs.Flight.Force "log_force" ~lsn:t.stable ()
+  | None -> ());
   match t.trace with
   | Some tr ->
       Deut_obs.Trace.instant tr ~name:"log_force" ~cat:"wal" ~track:Deut_obs.Trace.track_wal
@@ -238,6 +248,7 @@ let crash t =
     forces = 0;
     read_disk = None;
     trace = None;
+    flight = None;
     on_append = None;
     archive = Option.map Archive.crash t.archive;
     on_archive = None;
@@ -259,6 +270,7 @@ let crash_at t lsn =
     forces = 0;
     read_disk = None;
     trace = None;
+    flight = None;
     on_append = None;
     archive = Option.map Archive.crash t.archive;
     on_archive = None;

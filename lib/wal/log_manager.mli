@@ -48,10 +48,13 @@ val force_upto : t -> Lsn.t -> unit
 val record_count : t -> int
 val force_count : t -> int
 
-val instrument : t -> ?trace:Deut_obs.Trace.t -> unit -> unit
-(** Attach a trace sink: each stable-LSN advance emits a [log_force]
-    instant on the wal track with the new stable offset and the number of
-    bytes made durable.  Purely observational. *)
+val instrument : t -> ?trace:Deut_obs.Trace.t -> ?flight:Deut_obs.Flight.t * int -> unit -> unit
+(** Attach observability sinks: each stable-LSN advance emits a
+    [log_force] instant on the wal track with the new stable offset and
+    the number of bytes made durable, and — with [flight], the engine's
+    flight recorder paired with the component index this log belongs to —
+    a [Force] entry in that component's black box.  Purely
+    observational. *)
 
 exception Corrupt_record of Lsn.t
 (** A frame failed its checksum. *)

@@ -22,6 +22,7 @@ let () =
       ("parallel-redo", Test_parallel_redo.suite);
       ("concurrency", Test_concurrency.suite);
       ("sharding", Test_sharding.suite);
+      ("causal", Test_causal.suite);
       ("analysis", Test_analysis.suite);
       ("hotpath", Test_hotpath.suite);
     ]

@@ -1,216 +1,67 @@
 (* Randomized crash-recovery property test.
 
-   Each seed drives a generated workload (multi-op transactions with
-   inserts/updates/deletes, commits, aborts, checkpoints, log compaction,
-   in-flight losers) over a small cache.  While the workload runs, a
-   reservoir sample over the log-append hook picks ONE record boundary
-   uniformly at random and snapshots a crash image there — the same
-   capture-at-append construction as test_crash_points, so post-boundary
-   flushes cannot leak into the image.  The image is then recovered under
-   all six methods and each result is compared, key for key, against the
-   committed-prefix oracle folded from the image's own log.  InstantLog2
-   additionally runs in the staged open-while-redoing form with probe
-   reads interleaved with background drain steps.
+   The workload/image generator lives in [Deut_workload.Fuzz] (shared
+   with [repro_cli forensics]); this suite drives it over a seed corpus,
+   recovers every sampled image under all runnable methods and compares
+   each result, key for key, against the committed-prefix oracle folded
+   from the image's own log.  InstantLog2 additionally runs in the staged
+   open-while-redoing form with probe reads interleaved with background
+   drain steps.
 
    On any failure the seed and a copy-paste repro command are printed, and
    the seed is appended to $DEUT_FUZZ_FAIL_FILE when set (CI uploads it as
-   an artifact).  Env knobs:
+   an artifact, then runs [repro_cli forensics] on each listed seed).
+   Env knobs:
      DEUT_FUZZ_SEEDS=s1,s2,...   run exactly these seeds
      DEUT_FUZZ_SALT=n            add DEUT_FUZZ_COUNT (default 16) fresh
                                  seeds derived from n *)
 
 module Db = Deut_core.Db
-module Config = Deut_core.Config
-module Engine = Deut_core.Engine
-module Tc = Deut_core.Tc
 module Recovery = Deut_core.Recovery
 module Crash_image = Deut_core.Crash_image
+module Fuzz = Deut_workload.Fuzz
 module Rng = Deut_sim.Rng
-module Lr = Deut_wal.Log_record
-module Lsn = Deut_wal.Lsn
-module Log = Deut_wal.Log_manager
-module Page_store = Deut_storage.Page_store
-
-let tables = [ 1; 2 ]
 
 (* DEUT_SHARDS stripes the fuzzed key space across that many data
    components (§4.1 protocol + split layout per shard).  CI runs the
-   matrix at 1 and 4.  With shards > 1 only the logical methods can run,
-   and the staged InstantLog2 form is skipped (not yet sharded). *)
+   matrix at 1 and 4. *)
 let fuzz_shards =
   match Sys.getenv_opt "DEUT_SHARDS" with
   | Some s -> ( match int_of_string_opt s with Some n when n > 1 -> n | _ -> 1)
   | None -> 1
 
-let config_of rng =
-  {
-    Config.default with
-    Config.page_size = 1024;
-    pool_pages = [| 16; 32; 64 |].(Rng.int rng 3);
-    delta_period = [| 5; 10; 20 |].(Rng.int rng 3);
-    delta_capacity = 64;
-    (* Archive (rather than drop) compacted log bytes: the committed-prefix
-       oracle folds the image's log from genesis, which plain compaction
-       would cut out from under it.  Sealing keeps every byte readable
-       (iter spans archive + live) and exercises restart-from-archive. *)
-    archive = true;
-    archive_min_bytes = 1;
-    (* The generator leaves transactions open while later ones run; key
-       locks make the overlap serializable (conflicting ops fail with
-       [Lock_conflict] and are skipped) — without them a later commit
-       could overwrite a loser's write and make its rollback unsound. *)
-    locking = true;
-    shards = fuzz_shards;
-  }
-
-(* Committed state implied by a log prefix, generalised over tables:
-   buffer each transaction's operations, fold into the committed map on
-   Commit, drop on Abort.  CLRs are ignored — a loser's updates and its
-   compensations net to nothing. *)
-let expected_of_log log =
-  let committed = Hashtbl.create 64 in
-  let pending = Hashtbl.create 8 in
-  Log.iter log ~from:Lsn.nil (fun _lsn record ->
-      match record with
-      | Lr.Update_rec u ->
-          let prior = Option.value (Hashtbl.find_opt pending u.Lr.txn) ~default:[] in
-          Hashtbl.replace pending u.Lr.txn (((u.Lr.table, u.Lr.key), u.Lr.after) :: prior)
-      | Lr.Commit { txn } ->
-          List.iter
-            (fun (tk, after) ->
-              match after with
-              | Some v -> Hashtbl.replace committed tk v
-              | None -> Hashtbl.remove committed tk)
-            (List.rev (Option.value (Hashtbl.find_opt pending txn) ~default:[]));
-          Hashtbl.remove pending txn
-      | Lr.Abort { txn } -> Hashtbl.remove pending txn
-      | Lr.Clr _ | Lr.Begin_ckpt | Lr.End_ckpt _ | Lr.Aries_ckpt_dpt _ | Lr.Bw _ | Lr.Delta _
-      | Lr.Smo _ ->
-          ());
-  List.sort compare (Hashtbl.fold (fun tk v acc -> (tk, v) :: acc) committed [])
-
 let dump_all db =
   List.concat_map
     (fun table -> List.map (fun (k, v) -> ((table, k), v)) (Db.dump_table db ~table))
-    tables
+    Fuzz.tables
   |> List.sort compare
 
 let show entries =
   String.concat "; "
     (List.map (fun ((t, k), v) -> Printf.sprintf "%d:%d=%s" t k v) entries)
 
-(* Generate and run the workload, reservoir-sampling one crash boundary.
-   Returns the sampled image (the workload always appends at least one
-   record, so the reservoir is never empty). *)
-let build_image seed =
-  let rng = Rng.create ~seed in
-  let config = config_of rng in
-  let db = Db.create ~config () in
-  List.iter (fun table -> Db.create_table db ~table) tables;
-  let engine = Db.engine db in
-  let log = engine.Engine.log in
-  let sel_rng = Rng.split rng in
-  let seen = ref 0 in
-  let image = ref None in
-  (* Snapshot at an append boundary: everything appended to the TC log so
-     far survives ([crash_at end_lsn]); each DC log keeps only its forced
-     prefix, exactly as a crash there would leave it (SMOs force
-     synchronously, so structure changes are never in the lost tail). *)
-  let snapshot () =
-    let extra_shards =
-      Array.init
-        (Engine.shard_count engine - 1)
-        (fun i ->
-          let sh = Engine.shard engine (i + 1) in
-          {
-            Crash_image.sh_store = Page_store.clone sh.Engine.s_store;
-            sh_dc_log = Log.crash sh.Engine.s_dc_log;
-          })
-    in
-    {
-      Crash_image.config = engine.Engine.config;
-      store = Page_store.clone engine.Engine.store;
-      log = Log.crash_at log (Log.end_lsn log);
-      dc_log =
-        (if Engine.split engine then Some (Log.crash engine.Engine.dc_log) else None);
-      master = Tc.master engine.Engine.tc;
-      extra_shards;
-    }
-  in
-  Log.set_append_hook log
-    (Some
-       (fun _lsn ->
-         incr seen;
-         if Rng.int sel_rng !seen = 0 then image := Some (snapshot ())));
-  (* Tracked keys are an approximation of what is present (aborts drift
-     it); operations that turn out invalid return a typed error and are
-     simply skipped. *)
-  let keys = Hashtbl.create 64 in
-  let present table = Hashtbl.find_opt keys table |> Option.value ~default:[] in
-  let add table k = Hashtbl.replace keys table (k :: present table) in
-  let remove table k =
-    Hashtbl.replace keys table (List.filter (fun k' -> k' <> k) (present table))
-  in
-  let pick_table () = List.nth tables (Rng.int rng (List.length tables)) in
-  let n_txns = 10 + Rng.int rng 15 in
-  for t = 0 to n_txns - 1 do
-    let txn = Db.begin_txn db in
-    let n_ops = 1 + Rng.int rng 6 in
-    for o = 0 to n_ops - 1 do
-      let table = pick_table () in
-      let v = Printf.sprintf "s%d.%d.%d" seed t o in
-      match Rng.int rng 10 with
-      | 0 | 1 | 2 | 3 ->
-          let key = Rng.int rng 200 in
-          if Result.is_ok (Db.insert db txn ~table ~key ~value:v) then add table key
-      | 4 | 5 | 6 -> (
-          match present table with
-          | [] -> ()
-          | ks -> ignore (Db.update db txn ~table ~key:(List.nth ks (Rng.int rng (List.length ks))) ~value:v))
-      | _ -> (
-          match present table with
-          | [] -> ()
-          | ks ->
-              let key = List.nth ks (Rng.int rng (List.length ks)) in
-              if Result.is_ok (Db.delete db txn ~table ~key) then remove table key)
-    done;
-    (match Rng.int rng 20 with
-    | n when n < 16 -> Db.commit db txn
-    | 16 | 17 | 18 -> Db.abort db txn
-    | _ -> () (* leave open: an in-flight loser at later boundaries *));
-    if Rng.int rng 7 = 0 then Db.checkpoint db;
-    if Rng.int rng 10 = 0 then Db.compact_log db
-  done;
-  Log.set_append_hook log None;
-  match !image with
-  | Some image -> image
-  | None -> Alcotest.fail "fuzz workload appended no log records"
-
-let repro_hint seed =
-  Printf.sprintf "repro: DEUT_FUZZ_SEEDS=%d dune exec test/main.exe -- test fuzz-recovery" seed
-
+(* One "<seed> <shards>" line per failure: exactly the arguments
+   [repro_cli forensics] needs to rebuild the failing image. *)
 let note_failure seed =
   match Sys.getenv_opt "DEUT_FUZZ_FAIL_FILE" with
   | None -> ()
   | Some path ->
       let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-      output_string oc (string_of_int seed ^ "\n");
+      Printf.fprintf oc "%d %d\n" seed fuzz_shards;
       close_out oc
 
 let fail_seed seed fmt =
   Printf.ksprintf
     (fun msg ->
       note_failure seed;
-      Alcotest.failf "seed %d: %s\n  %s" seed msg (repro_hint seed))
+      Alcotest.failf "seed %d: %s\n  %s" seed msg (Fuzz.repro_hint seed))
     fmt
 
-let methods =
-  if fuzz_shards > 1 then [ Recovery.Log0; Recovery.Log1; Recovery.Log2 ]
-  else Recovery.all_methods_with_instant
+let methods = Fuzz.methods_for ~shards:fuzz_shards
 
 let run_seed seed () =
-  let image = build_image seed in
-  let expected = expected_of_log image.Crash_image.log in
+  let image = Fuzz.build_image ~shards:fuzz_shards seed in
+  let expected = Fuzz.expected_of_log image.Crash_image.log in
   (* Every runnable method against the oracle. *)
   List.iter
     (fun m ->
@@ -232,7 +83,7 @@ let run_seed seed () =
   let probe_rng = Rng.create ~seed:(seed + 7919) in
   let progressed = ref true in
   while !progressed do
-    let table = List.nth tables (Rng.int probe_rng (List.length tables)) in
+    let table = List.nth Fuzz.tables (Rng.int probe_rng (List.length Fuzz.tables)) in
     ignore (Db.read db ~table ~key:(Rng.int probe_rng 200));
     progressed := Db.instant_step inst
   done;
@@ -243,8 +94,6 @@ let run_seed seed () =
       (show expected) (show got)
   end
 
-let corpus = List.init 32 (fun i -> 1001 + (7919 * i))
-
 let seeds =
   match Sys.getenv_opt "DEUT_FUZZ_SEEDS" with
   | Some csv ->
@@ -253,13 +102,13 @@ let seeds =
         (List.filter (fun s -> String.trim s <> "") (String.split_on_char ',' csv))
   | None -> (
       match Sys.getenv_opt "DEUT_FUZZ_SALT" with
-      | None -> corpus
+      | None -> Fuzz.corpus
       | Some salt ->
           let count =
             match Sys.getenv_opt "DEUT_FUZZ_COUNT" with Some n -> int_of_string n | None -> 16
           in
           let r = Rng.create ~seed:(int_of_string salt) in
-          corpus @ List.init count (fun _ -> Rng.int r 1_000_000))
+          Fuzz.corpus @ List.init count (fun _ -> Rng.int r 1_000_000))
 
 let suite =
   List.map

@@ -322,6 +322,40 @@ let test_net_is_transparent_but_costly () =
   check_string "digest unchanged by the transport" d_off d_on;
   check "network time was charged" true (t_on > t_off)
 
+(* {2 Zero observer effect} *)
+
+(* Recording never advances the clock: the always-on flight recorder and
+   opt-in causal tracing, in every combination, must leave the committed
+   state, the operation counts and the simulated clock untouched. *)
+let test_observers_change_nothing () =
+  let run ~flight ~tracing =
+    let c =
+      {
+        (config ~shards:2 ~net:true ()) with
+        Config.flight;
+        tracing;
+        trace_capacity = 1 lsl 18;
+      }
+    in
+    let driver = Driver.create ~config:c (spec ~rows:120) in
+    let sched = Driver.run_concurrent driver ~txns:30 in
+    Client_sched.flush sched;
+    let m = Engine.metrics (Db.engine (Driver.db driver)) in
+    ( Client_sched.logical_digest (Driver.db driver),
+      Metrics.read_int m "net.messages",
+      Db.now_ms (Driver.db driver) )
+  in
+  let reference = run ~flight:true ~tracing:false in
+  let d0, m0, t0 = reference in
+  List.iter
+    (fun (flight, tracing) ->
+      let d, m, t = run ~flight ~tracing in
+      let label = Printf.sprintf "flight=%b tracing=%b" flight tracing in
+      check_string (label ^ ": digest unchanged") d0 d;
+      check_int (label ^ ": op counts unchanged") m0 m;
+      check (label ^ ": clock unchanged") true (t = t0))
+    [ (false, false); (true, true); (false, true) ]
+
 (* {2 Env knobs} *)
 
 let with_env bindings f =
@@ -365,5 +399,6 @@ let suite =
     Alcotest.test_case "network transport determinism" `Quick test_net_determinism;
     Alcotest.test_case "network cost is charged, digest unchanged" `Quick
       test_net_is_transparent_but_costly;
+    Alcotest.test_case "observers change nothing" `Quick test_observers_change_nothing;
     Alcotest.test_case "env knobs" `Quick test_env_knobs;
   ]

@@ -172,8 +172,10 @@ let test_chrome_json_well_formed () =
   | () -> ()
   | exception Failure msg -> Alcotest.failf "exported JSON malformed: %s" msg);
   (* The export carries every buffered event plus one lane-name record per
-     lane: the 7 fixed lanes and any per-worker lane present (parallel redo
-     adds one per worker beyond the first). *)
+     lane — the 7 fixed lanes and any per-worker lane present (parallel
+     redo adds one per worker beyond the first) — plus one process-name
+     record for the single engine pid all those lanes live on (net and
+     shard lanes, absent here, would add their own pids). *)
   let worker_lanes =
     List.sort_uniq compare
       (List.filter_map
@@ -190,7 +192,7 @@ let test_chrome_json_well_formed () =
     go 0 0
   in
   check_int "all events exported"
-    (Trace.length tr + 7 + List.length worker_lanes)
+    (Trace.length tr + 1 + 7 + List.length worker_lanes)
     (count_occurrences "\"name\":" json - count_occurrences "\"args\":{\"name\":" json)
 
 let test_spans_match_counters () =
