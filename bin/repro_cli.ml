@@ -651,6 +651,131 @@ let instant_cmd =
           $(b,--min-speedup), acts as a regression gate on the availability win.")
     Term.(const run $ scale_arg $ cache_sizes_arg $ probes_arg $ min_speedup_arg)
 
+let domains_cmd =
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "d"; "domains" ] ~docv:"N"
+          ~doc:
+            "Domains for the parallel run (default: DEUT_DOMAINS when set above 1, else \
+             min(4, available cores)).")
+  in
+  let min_speedup_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-speedup" ] ~docv:"R"
+          ~doc:
+            "Gate: fail (exit 1) unless the parallel sweep finishes at least $(docv)x \
+             faster than the sequential one.  Wall-clock speedup tracks the machine's \
+             real core count — only gate on hardware with enough idle cores.")
+  in
+  let run scale cache_sizes domains min_speedup =
+    let domains =
+      match domains with
+      | Some d when d >= 1 -> d
+      | _ ->
+          let d = Config.default.Config.domains in
+          if d > 1 then d else Stdlib.min 4 (Deut_sim.Domain_pool.available_cores ())
+    in
+    let cores = Deut_sim.Domain_pool.available_cores () in
+    progress
+      (Printf.sprintf "sweep at 1 then %d domain(s); %d core(s) available" domains cores);
+    (* Fresh caches on both sides so the parallel run cannot coast on the
+       sequential run's builds. *)
+    let sweep d =
+      let cache = Experiment.build_cache () in
+      let t0 = Unix.gettimeofday () in
+      let cells = Figures.run_fig2 ~cache ~scale ~cache_sizes ~progress ~domains:d () in
+      (cells, Unix.gettimeofday () -. t0)
+    in
+    let seq_cells, seq_wall = sweep 1 in
+    let par_cells, par_wall = sweep domains in
+    List.iter2
+      (fun (a : Figures.fig2_cell) (b : Figures.fig2_cell) ->
+        if a.Figures.digests <> b.Figures.digests then begin
+          Printf.eprintf
+            "FAIL: determinism gate — digests diverged at %d MB between 1 and %d domains\n"
+            a.Figures.cache_mb domains;
+          exit 1
+        end)
+      seq_cells par_cells;
+    (* Domain-parallel redo on one image: the reference scheduler against
+       real partitions at every partition count. *)
+    let cache_mb = List.fold_left Stdlib.max 64 cache_sizes in
+    let setup = Experiment.paper_setup ~scale ~cache_mb () in
+    let crash = Experiment.build setup in
+    let redo d =
+      let config =
+        { crash.Experiment.image.Deut_core.Crash_image.config with Config.domains = d }
+      in
+      let t0 = Unix.gettimeofday () in
+      let db, _stats = Db.recover ~config crash.Experiment.image Recovery.Log2 in
+      (match Driver.verify_recovered crash.Experiment.driver db with
+      | Ok () -> ()
+      | Error msg -> failwith (Printf.sprintf "Log2 at %d domains: wrong state: %s" d msg));
+      let wall = Unix.gettimeofday () -. t0 in
+      (Experiment.store_digest db, Deut_workload.Client_sched.logical_digest db, wall)
+    in
+    let s1, l1, redo_seq_wall = redo 1 in
+    let redo_par_wall = ref redo_seq_wall in
+    List.iter
+      (fun d ->
+        let s, l, w = redo d in
+        if d = domains then redo_par_wall := w;
+        if s <> s1 || l <> l1 then begin
+          Printf.eprintf
+            "FAIL: determinism gate — Log2 redo digest diverged at %d partitions\n" d;
+          exit 1
+        end)
+      (List.sort_uniq compare [ 2; 4; 8; domains ]);
+    let speedup = if par_wall > 0.0 then seq_wall /. par_wall else 0.0 in
+    print_string
+      (Report.table ~title:"Real multicore — identical results, wall clock only"
+         ~header:[ "measure"; "sequential"; Printf.sprintf "%d domains" domains; "speedup" ]
+         ~rows:
+           [
+             [
+               "fig2 sweep (s)";
+               Printf.sprintf "%.2f" seq_wall;
+               Printf.sprintf "%.2f" par_wall;
+               Printf.sprintf "%.2fx" speedup;
+             ];
+             [
+               "Log2 redo (s)";
+               Printf.sprintf "%.2f" redo_seq_wall;
+               Printf.sprintf "%.2f" !redo_par_wall;
+               (if !redo_par_wall > 0.0 then
+                  Printf.sprintf "%.2fx" (redo_seq_wall /. !redo_par_wall)
+                else "-");
+             ];
+           ]
+         ());
+    Printf.printf
+      "determinism gate OK: digests byte-identical at 1 and %d domains (harness) and at \
+       every redo partition count; %d core(s) available\n"
+      domains cores;
+    match min_speedup with
+    | None -> ()
+    | Some r ->
+        if speedup < r then begin
+          Printf.eprintf "FAIL: domains gate — %.2fx, need >= %.2fx (%d cores available)\n"
+            speedup r cores;
+          exit 1
+        end;
+        Printf.printf "domains gate OK: %.2fx (need >= %.2fx)\n" speedup r
+  in
+  Cmd.v
+    (Cmd.info "domains"
+       ~doc:
+         "Real-multicore determinism and speedup check: run the Figure-2 sweep \
+          sequentially and fanned across OS-level domains, prove every cell's store and \
+          logical digests byte-identical, then recover one image with domain-parallel \
+          redo at every partition count and prove the same.  With $(b,--min-speedup), \
+          gates on the harness wall-clock win.")
+    Term.(const run $ scale_arg $ cache_sizes_arg $ domains_arg $ min_speedup_arg)
+
 let metrics_cmd =
   let run scale cache method_ =
     let db, _stats = recover_standard ~scale ~cache ~tracing:false method_ in
@@ -720,6 +845,7 @@ let () =
             analyze_cmd;
             tune_cmd;
             instant_cmd;
+            domains_cmd;
             metrics_cmd;
             forensics_cmd;
           ]))

@@ -50,18 +50,22 @@ type crash_run = {
 type build_cache
 (** Memoizes [build] by setup.  Sound because [build] is deterministic in
     its [scaled] argument; recoveries copy the crash image before mutating
-    anything, so a cached run can back any number of them.  Costs memory:
-    every cached crash image (store + log) stays live — meant for the bench
-    harness, where several sections share setups. *)
+    anything, so a cached run can back any number of them.  Safe to share
+    across domains: a mutex guards the table, a requester of a setup whose
+    build is already in flight waits for it rather than duplicating it, and
+    published runs have sealed oracles (see {!Oracle.seal}).  Costs memory:
+    every cached crash image (store + log) stays live until evicted — an
+    LRU bound of [max_entries] caps how many. *)
 
-val build_cache : unit -> build_cache
+val build_cache : ?max_entries:int -> unit -> build_cache
+(** [max_entries] defaults to 16. *)
 
 val drop_cache : build_cache -> unit
 (** Empty the cache, releasing every retained crash image. *)
 
 val build : ?cache:build_cache -> scaled -> crash_run
 (** Load, warm to cache equilibrium, run the crash protocol, leave one
-    uncommitted transaction, crash. *)
+    uncommitted transaction, crash.  Thread-safe when [cache] is given. *)
 
 val run_method :
   ?workers:int -> crash_run -> Deut_core.Recovery.method_ -> Deut_core.Recovery_stats.t
@@ -84,3 +88,9 @@ val run_all :
   crash_run ->
   Deut_core.Recovery.method_ list ->
   (Deut_core.Recovery.method_ * Deut_core.Recovery_stats.t) list
+
+val store_digest : Deut_core.Db.t -> string
+(** Digest of the stable page store after flushing every dirty frame — the
+    complete database image, byte for byte.  Together with
+    [Client_sched.logical_digest] this is the determinism gate's currency:
+    recovered state must hash identically at every domain count. *)
